@@ -1,0 +1,170 @@
+// Package repro's benchmark harness: one Benchmark per experiment E1–E8
+// (DESIGN.md §3 maps each to a paper figure/claim) plus micro-benchmarks
+// of the simulator hot paths. Experiment benches run time-scaled
+// scenarios; their per-op cost is "wall time to regenerate the
+// experiment", which tracks simulation throughput.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/multitier"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+var benchOpt = experiments.Options{Seed: 11, TimeScale: 0.05}
+
+func benchExperiment(b *testing.B, run func(experiments.Options) (*experiments.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(benchOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1MobileIPRegistration(b *testing.B) {
+	benchExperiment(b, experiments.E1MobileIPProcedures)
+}
+
+func BenchmarkE2CellularIPHandoff(b *testing.B) {
+	benchExperiment(b, experiments.E2CellularIPHandoff)
+}
+
+func BenchmarkE3LocationManagement(b *testing.B) {
+	benchExperiment(b, experiments.E3LocationManagement)
+}
+
+func BenchmarkE4InterDomainHandoff(b *testing.B) {
+	benchExperiment(b, experiments.E4InterDomain)
+}
+
+func BenchmarkE5IntraDomainHandoff(b *testing.B) {
+	benchExperiment(b, experiments.E5IntraDomain)
+}
+
+func BenchmarkE6SchemeComparison(b *testing.B) {
+	benchExperiment(b, experiments.E6SchemeComparison)
+}
+
+func BenchmarkE7ResourceSwitching(b *testing.B) {
+	benchExperiment(b, experiments.E7ResourceSwitching)
+}
+
+func BenchmarkE8PagingAndRSMCLoad(b *testing.B) {
+	benchExperiment(b, experiments.E8PagingAndRSMCLoad)
+}
+
+// BenchmarkScenarioPerScheme measures raw simulation throughput of one
+// 30-virtual-second scenario per scheme.
+func BenchmarkScenarioPerScheme(b *testing.B) {
+	for _, scheme := range core.Schemes() {
+		scheme := scheme
+		b.Run(string(scheme), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.Duration = 30 * time.Second
+			cfg.NumMNs = 4
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				if _, err := core.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- simulator hot paths -------------------------------------------------
+
+func BenchmarkSchedulerEventChurn(b *testing.B) {
+	s := simtime.NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%64 == 0 {
+			for s.Step() {
+			}
+		}
+	}
+	for s.Step() {
+	}
+}
+
+func BenchmarkPacketMarshalUnmarshal(b *testing.B) {
+	p := packet.New(addr.MustParse("10.0.0.1"), addr.MustParse("10.1.0.1"),
+		packet.ClassStreaming, 7, 1, make([]byte, 512))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := p.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := packet.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncapsulateDecapsulate(b *testing.B) {
+	inner := packet.New(addr.MustParse("10.0.0.1"), addr.MustParse("10.1.0.1"),
+		packet.ClassConversational, 1, 1, make([]byte, 160))
+	src, dst := addr.MustParse("172.16.0.1"), addr.MustParse("10.4.0.2")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tun, err := packet.Encapsulate(src, dst, inner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tun.Decapsulate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocationTableUpdateLookup(b *testing.B) {
+	sched := simtime.NewScheduler()
+	tab := multitier.NewTable(3*time.Second, sched)
+	mns := make([]addr.IP, 256)
+	for i := range mns {
+		mns[i] = addr.V4(172, 16, 1, byte(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mn := mns[i%len(mns)]
+		tab.Update(mn, topology.CellID(i%16), uint32(i))
+		tab.Lookup(mn)
+	}
+}
+
+func BenchmarkHistogramObserveQuantile(b *testing.B) {
+	var h metrics.Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%100_000) * time.Microsecond)
+		if i%1024 == 0 {
+			h.Quantile(0.95)
+		}
+	}
+}
+
+func BenchmarkTopologySignals(b *testing.B) {
+	top, err := topology.Build(topology.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pos := top.Cells[2].Pos
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		top.Signals(pos, nil)
+	}
+}

@@ -1,0 +1,69 @@
+// Command mmbench regenerates every experiment table E1–E8 (DESIGN.md §3
+// maps each to a figure or claim of the paper). Use -scale to shrink run
+// lengths during development.
+//
+// Example:
+//
+//	mmbench            # full-length suite
+//	mmbench -scale 0.1 # 10x shorter scenarios
+//	mmbench -only E6   # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mmbench", flag.ContinueOnError)
+	var (
+		seed  = fs.Int64("seed", 1, "base seed")
+		scale = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
+		only  = fs.String("only", "", "run a single experiment (E1..E8)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{Seed: *seed, TimeScale: *scale}
+
+	type exp struct {
+		id  string
+		run func(experiments.Options) (*experiments.Table, error)
+	}
+	all := []exp{
+		{"E1", experiments.E1MobileIPProcedures},
+		{"E2", experiments.E2CellularIPHandoff},
+		{"E3", experiments.E3LocationManagement},
+		{"E4", experiments.E4InterDomain},
+		{"E5", experiments.E5IntraDomain},
+		{"E6", experiments.E6SchemeComparison},
+		{"E7", experiments.E7ResourceSwitching},
+		{"E8", experiments.E8PagingAndRSMCLoad},
+	}
+	ran := 0
+	for _, e := range all {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		tbl, err := e.run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Println(tbl)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-scale", "0.02", "-only", "E1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,77 @@
+// Command mmsim runs one mobility-management scenario and prints its
+// metrics. It is the single-run counterpart to cmd/mmbench.
+//
+// Example:
+//
+//	mmsim -scheme multitier-rsmc -mns 8 -speed 15 -duration 2m -video
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mmsim", flag.ContinueOnError)
+	var (
+		scheme    = fs.String("scheme", string(core.SchemeMultiTier), "mobile-ip | cellular-ip-hard | cellular-ip-semisoft | multitier-rsmc")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		duration  = fs.Duration("duration", time.Minute, "virtual duration")
+		mns       = fs.Int("mns", 8, "mobile node population")
+		speed     = fs.Float64("speed", 10, "node speed in m/s")
+		mob       = fs.String("mobility", string(core.MobilityShuttle), "waypoint | shuttle | shuttle-domains | manhattan | static")
+		voice     = fs.Bool("voice", true, "downlink voice flow per MN")
+		video     = fs.Bool("video", false, "downlink video flow per MN")
+		dataIvl   = fs.Duration("data-interval", 0, "poisson data mean gap (0 = off)")
+		roots     = fs.Int("roots", 1, "upper-layer base stations")
+		noSwitch  = fs.Bool("no-resource-switching", false, "disable RSMC packet buffering")
+		authOn    = fs.Bool("auth", false, "enable RSMC authentication")
+		shadowing = fs.Bool("shadowing", false, "log-normal shadowing on measurements")
+		full      = fs.Bool("metrics", false, "print the full metric registry")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topCfg := topology.DefaultConfig()
+	topCfg.Roots = *roots
+	cfg := core.Config{
+		Seed:              *seed,
+		Duration:          *duration,
+		Scheme:            core.Scheme(*scheme),
+		Topology:          topCfg,
+		NumMNs:            *mns,
+		Mobility:          core.MobilityKind(*mob),
+		SpeedMPS:          *speed,
+		Traffic:           core.TrafficConfig{Voice: *voice, Video: *video, DataMeanInterval: *dataIvl},
+		MeasureInterval:   100 * time.Millisecond,
+		ResourceSwitching: !*noSwitch,
+		GuardChannels:     -1,
+		AuthEnabled:       *authOn,
+		Shadowing:         *shadowing,
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheme=%s mns=%d speed=%.1fm/s duration=%v seed=%d\n",
+		cfg.Scheme, cfg.NumMNs, cfg.SpeedMPS, cfg.Duration, cfg.Seed)
+	fmt.Println(res.Summary)
+	if *full {
+		fmt.Println()
+		fmt.Print(res.Registry.Render())
+	}
+	return nil
+}

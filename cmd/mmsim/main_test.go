@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunDefaultFlags(t *testing.T) {
+	if err := run([]string{"-duration", "3s", "-mns", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEveryScheme(t *testing.T) {
+	for _, scheme := range []string{"mobile-ip", "cellular-ip-hard", "cellular-ip-semisoft", "multitier-rsmc"} {
+		if err := run([]string{"-scheme", scheme, "-duration", "3s", "-mns", "2", "-metrics"}); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunRejectsBadScheme(t *testing.T) {
+	if err := run([]string{"-scheme", "bogus", "-duration", "3s"}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunKnobs(t *testing.T) {
+	if err := run([]string{
+		"-duration", "3s", "-mns", "2", "-video", "-data-interval", "500ms",
+		"-no-resource-switching", "-auth", "-shadowing", "-roots", "2",
+		"-mobility", "waypoint", "-speed", "25",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Paging and idle mode: a mostly-idle population versus an active one —
+// the Cellular IP paging trade-off (§2.2.2) consolidated at the RSMC
+// (§4: "the load of RSMC is very low"). Idle nodes signal an order of
+// magnitude less; the price is a paging flood when traffic arrives.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	topCfg := topology.DefaultConfig()
+	topCfg.Roots = 1
+
+	fmt.Println("16 static MNs for 2 virtual minutes: active (voice) vs idle (rare datagrams)")
+	fmt.Printf("%-8s %16s %8s %18s %12s\n", "mode", "signal msgs/s", "pages", "page broadcasts", "RSMC ops/s")
+	for _, active := range []bool{true, false} {
+		cfg := core.Config{
+			Seed:              3,
+			Duration:          2 * time.Minute,
+			Scheme:            core.SchemeMultiTier,
+			Topology:          topCfg,
+			NumMNs:            16,
+			Mobility:          core.MobilityStatic,
+			MeasureInterval:   100 * time.Millisecond,
+			ResourceSwitching: true,
+			GuardChannels:     -1,
+		}
+		if active {
+			cfg.Traffic = core.TrafficConfig{Voice: true}
+		} else {
+			cfg.Traffic = core.TrafficConfig{DataMeanInterval: 20 * time.Second}
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg := res.Registry
+		secs := cfg.Duration.Seconds()
+		var ops uint64
+		for d := 0; d < 8; d++ {
+			ops += reg.Counter(fmt.Sprintf("rsmc.%d.operations", d)).Value()
+		}
+		mode := "active"
+		if !active {
+			mode = "idle"
+		}
+		fmt.Printf("%-8s %16.2f %8d %18d %12.2f\n", mode,
+			float64(res.Summary.SignalingMsgs)/secs,
+			reg.Counter("tier.pages").Value(),
+			reg.Counter("tier.page_broadcasts").Value(),
+			float64(ops)/secs)
+	}
+}

@@ -1,0 +1,29 @@
+// Quickstart: run the paper's multi-tier scheme on the default topology
+// for one simulated minute and print the headline numbers. This is the
+// smallest end-to-end use of the public scenario API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Duration = time.Minute
+	cfg.NumMNs = 4
+	cfg.SpeedMPS = 12
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("multi-tier mobility management, 4 MNs shuttling at 12 m/s for 1 virtual minute")
+	fmt.Println(res.Summary)
+	fmt.Println()
+	fmt.Println("full metrics:")
+	fmt.Print(res.Registry.Render())
+}

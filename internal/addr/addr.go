@@ -1,0 +1,206 @@
+// Package addr models IPv4 addressing for the simulated network: addresses,
+// prefixes and allocation pools. Mobile IP distinguishes a node's permanent
+// home address from the care-of addresses it acquires on foreign links;
+// this package provides both, carved from distinct prefixes so that tests
+// can assert which network a packet claims to come from.
+package addr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by parsing and pool allocation.
+var (
+	ErrPoolExhausted = errors.New("addr: pool exhausted")
+	ErrNotInPool     = errors.New("addr: address not allocated from this pool")
+	ErrBadAddress    = errors.New("addr: malformed address")
+	ErrBadPrefix     = errors.New("addr: malformed prefix")
+)
+
+// IP is an IPv4 address in host byte order. The zero value is the unspecified
+// address 0.0.0.0 and is treated as "no address" throughout the simulator.
+type IP uint32
+
+// Unspecified is the zero address.
+const Unspecified IP = 0
+
+// V4 assembles an address from its dotted-quad octets.
+func V4(a, b, c, d byte) IP {
+	return IP(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Parse parses dotted-quad notation ("192.168.0.1").
+func Parse(s string) (IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("%w: %q", ErrBadAddress, s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("%w: %q", ErrBadAddress, s)
+		}
+		ip = ip<<8 | uint32(n)
+	}
+	return IP(ip), nil
+}
+
+// MustParse is Parse for tests and static configuration; it panics on error.
+func MustParse(s string) IP {
+	ip, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// String returns dotted-quad notation.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// IsUnspecified reports whether ip is 0.0.0.0.
+func (ip IP) IsUnspecified() bool { return ip == 0 }
+
+// Octets returns the four dotted-quad bytes.
+func (ip IP) Octets() [4]byte {
+	return [4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)}
+}
+
+// Prefix is an IPv4 CIDR prefix.
+type Prefix struct {
+	Base IP
+	Bits int // 0..32
+}
+
+// NewPrefix masks base down to the prefix boundary.
+func NewPrefix(base IP, bits int) (Prefix, error) {
+	if bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("%w: /%d", ErrBadPrefix, bits)
+	}
+	return Prefix{Base: base & mask(bits), Bits: bits}, nil
+}
+
+// ParsePrefix parses "10.0.0.0/8" notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("%w: %q", ErrBadPrefix, s)
+	}
+	base, err := Parse(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("%w: %q", ErrBadPrefix, s)
+	}
+	return NewPrefix(base, bits)
+}
+
+// MustParsePrefix panics on error; for tests and static configuration.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mask(bits int) IP {
+	if bits <= 0 {
+		return 0
+	}
+	return IP(^uint32(0) << (32 - bits))
+}
+
+// String returns CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Base, p.Bits) }
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix) Contains(ip IP) bool { return ip&mask(p.Bits) == p.Base }
+
+// Size returns the number of addresses covered by the prefix.
+func (p Prefix) Size() uint64 { return 1 << (32 - p.Bits) }
+
+// Nth returns the address at offset n inside the prefix.
+func (p Prefix) Nth(n uint32) (IP, error) {
+	if uint64(n) >= p.Size() {
+		return 0, fmt.Errorf("%w: offset %d outside %s", ErrBadPrefix, n, p)
+	}
+	return p.Base + IP(n), nil
+}
+
+// Subnet carves the i-th /newBits subnet out of the prefix. The topology
+// builder uses this to give each domain, macro-cell and micro-cell its own
+// address space.
+func (p Prefix) Subnet(newBits, i int) (Prefix, error) {
+	if newBits < p.Bits || newBits > 32 {
+		return Prefix{}, fmt.Errorf("%w: cannot carve /%d from %s", ErrBadPrefix, newBits, p)
+	}
+	count := 1 << (newBits - p.Bits)
+	if i < 0 || i >= count {
+		return Prefix{}, fmt.Errorf("%w: subnet index %d of %d", ErrBadPrefix, i, count)
+	}
+	base := p.Base + IP(uint32(i)<<(32-newBits))
+	return Prefix{Base: base, Bits: newBits}, nil
+}
+
+// Pool hands out unique addresses from a prefix and takes them back. The
+// first address (network address) is never allocated; the pool reuses
+// released addresses lowest-first so allocations are deterministic.
+type Pool struct {
+	prefix    Prefix
+	next      uint32
+	allocated map[IP]bool
+	released  []IP // min-sorted free list
+}
+
+// NewPool returns an allocator over the prefix.
+func NewPool(prefix Prefix) *Pool {
+	return &Pool{prefix: prefix, next: 1, allocated: make(map[IP]bool)}
+}
+
+// Prefix returns the pool's address space.
+func (p *Pool) Prefix() Prefix { return p.prefix }
+
+// Allocate returns the lowest free address.
+func (p *Pool) Allocate() (IP, error) {
+	if len(p.released) > 0 {
+		ip := p.released[0]
+		p.released = p.released[1:]
+		p.allocated[ip] = true
+		return ip, nil
+	}
+	if uint64(p.next) >= p.prefix.Size() {
+		return 0, fmt.Errorf("%w: %s", ErrPoolExhausted, p.prefix)
+	}
+	ip := p.prefix.Base + IP(p.next)
+	p.next++
+	p.allocated[ip] = true
+	return ip, nil
+}
+
+// Release returns an address to the pool.
+func (p *Pool) Release(ip IP) error {
+	if !p.allocated[ip] {
+		return fmt.Errorf("%w: %s", ErrNotInPool, ip)
+	}
+	delete(p.allocated, ip)
+	i := sort.Search(len(p.released), func(i int) bool { return p.released[i] >= ip })
+	p.released = append(p.released, 0)
+	copy(p.released[i+1:], p.released[i:])
+	p.released[i] = ip
+	return nil
+}
+
+// InUse returns the number of live allocations.
+func (p *Pool) InUse() int { return len(p.allocated) }
+
+// Allocated reports whether ip is currently handed out by this pool.
+func (p *Pool) Allocated(ip IP) bool { return p.allocated[ip] }

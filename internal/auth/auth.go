@@ -1,0 +1,88 @@
+// Package auth provides the mobile-node authentication the paper assigns
+// to the RSMC ("authenticate identity of MN", §4): keyed HMAC-SHA256
+// tokens over the node's home address and a monotonically increasing
+// nonce, with replay protection. It substitutes for whatever AAA
+// infrastructure a real deployment would use; the RSMC code path it
+// exercises is identical (see DESIGN.md substitutions).
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/addr"
+)
+
+// TokenSize is the byte length of an authentication token.
+const TokenSize = sha256.Size
+
+// Errors returned by verification.
+var (
+	ErrBadToken = errors.New("auth: token mismatch")
+	ErrReplay   = errors.New("auth: nonce replayed or stale")
+	ErrNoKey    = errors.New("auth: empty key")
+)
+
+// Authenticator issues and verifies tokens under a shared key. In the
+// simulation one Authenticator instance is shared between the mobile
+// nodes of a domain and its RSMC, standing in for a provisioned shared
+// secret.
+type Authenticator struct {
+	key []byte
+	// lastNonce remembers the highest accepted nonce per mobile node for
+	// replay protection.
+	lastNonce map[addr.IP]uint64
+}
+
+// New returns an authenticator for the given key.
+func New(key []byte) (*Authenticator, error) {
+	if len(key) == 0 {
+		return nil, ErrNoKey
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Authenticator{key: k, lastNonce: make(map[addr.IP]uint64)}, nil
+}
+
+// mac computes HMAC-SHA256(key, mn || nonce).
+func (a *Authenticator) mac(mn addr.IP, nonce uint64) []byte {
+	h := hmac.New(sha256.New, a.key)
+	var buf [12]byte
+	binary.BigEndian.PutUint32(buf[0:4], uint32(mn))
+	binary.BigEndian.PutUint64(buf[4:12], nonce)
+	h.Write(buf[:])
+	return h.Sum(nil)
+}
+
+// Token issues a credential binding the mobile node's home address to a
+// nonce. The caller must use strictly increasing nonces.
+func (a *Authenticator) Token(mn addr.IP, nonce uint64) []byte {
+	return a.mac(mn, nonce)
+}
+
+// Verify checks a token without consuming the nonce (stateless check).
+func (a *Authenticator) Verify(mn addr.IP, nonce uint64, token []byte) error {
+	if !hmac.Equal(a.mac(mn, nonce), token) {
+		return ErrBadToken
+	}
+	return nil
+}
+
+// VerifyFresh checks the token and enforces nonce monotonicity per mobile
+// node, consuming the nonce on success. Replayed or stale nonces fail even
+// with a valid MAC.
+func (a *Authenticator) VerifyFresh(mn addr.IP, nonce uint64, token []byte) error {
+	if err := a.Verify(mn, nonce, token); err != nil {
+		return err
+	}
+	if last, ok := a.lastNonce[mn]; ok && nonce <= last {
+		return ErrReplay
+	}
+	a.lastNonce[mn] = nonce
+	return nil
+}
+
+// Forget clears replay state for a node (deregistration).
+func (a *Authenticator) Forget(mn addr.IP) { delete(a.lastNonce, mn) }

@@ -1,0 +1,162 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+var mn = addr.MustParse("192.168.1.10")
+
+func newAuth(t *testing.T) *Authenticator {
+	t.Helper()
+	a, err := New([]byte("domain-shared-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	a := newAuth(t)
+	tok := a.Token(mn, 1)
+	if len(tok) != TokenSize {
+		t.Fatalf("token size %d", len(tok))
+	}
+	if err := a.Verify(mn, 1, tok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	a := newAuth(t)
+	tok := a.Token(mn, 5)
+	// Wrong nonce.
+	if err := a.Verify(mn, 6, tok); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("wrong nonce: %v", err)
+	}
+	// Wrong node.
+	if err := a.Verify(addr.MustParse("192.168.1.11"), 5, tok); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("wrong node: %v", err)
+	}
+	// Flipped bit.
+	bad := make([]byte, len(tok))
+	copy(bad, tok)
+	bad[0] ^= 1
+	if err := a.Verify(mn, 5, bad); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("tampered token: %v", err)
+	}
+	// Truncated.
+	if err := a.Verify(mn, 5, tok[:10]); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("truncated token: %v", err)
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	a1, err := New([]byte("key-one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := New([]byte("key-two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := a1.Token(mn, 1)
+	if err := a2.Verify(mn, 1, tok); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("cross-key verify: %v", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("New(nil): %v", err)
+	}
+	if _, err := New([]byte{}); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("New(empty): %v", err)
+	}
+}
+
+func TestKeyCopiedAtConstruction(t *testing.T) {
+	key := []byte("mutable-key-material")
+	a, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := a.Token(mn, 1)
+	key[0] ^= 0xFF // caller mutates their buffer
+	if err := a.Verify(mn, 1, tok); err != nil {
+		t.Fatal("authenticator shared caller's key buffer")
+	}
+}
+
+func TestVerifyFreshReplayProtection(t *testing.T) {
+	a := newAuth(t)
+	tok5 := a.Token(mn, 5)
+	if err := a.VerifyFresh(mn, 5, tok5); err != nil {
+		t.Fatal(err)
+	}
+	// Exact replay.
+	if err := a.VerifyFresh(mn, 5, tok5); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay: %v", err)
+	}
+	// Stale nonce.
+	tok3 := a.Token(mn, 3)
+	if err := a.VerifyFresh(mn, 3, tok3); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale: %v", err)
+	}
+	// Fresh nonce proceeds.
+	tok6 := a.Token(mn, 6)
+	if err := a.VerifyFresh(mn, 6, tok6); err != nil {
+		t.Fatal(err)
+	}
+	// Bad token does not consume the nonce.
+	bad := make([]byte, TokenSize)
+	if err := a.VerifyFresh(mn, 7, bad); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("bad token: %v", err)
+	}
+	tok7 := a.Token(mn, 7)
+	if err := a.VerifyFresh(mn, 7, tok7); err != nil {
+		t.Fatalf("nonce consumed by failed verify: %v", err)
+	}
+}
+
+func TestForgetResetsReplayState(t *testing.T) {
+	a := newAuth(t)
+	if err := a.VerifyFresh(mn, 10, a.Token(mn, 10)); err != nil {
+		t.Fatal(err)
+	}
+	a.Forget(mn)
+	if err := a.VerifyFresh(mn, 1, a.Token(mn, 1)); err != nil {
+		t.Fatalf("after Forget: %v", err)
+	}
+}
+
+func TestPerNodeNonceSpaces(t *testing.T) {
+	a := newAuth(t)
+	other := addr.MustParse("192.168.1.99")
+	if err := a.VerifyFresh(mn, 100, a.Token(mn, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// A different node may still use a low nonce.
+	if err := a.VerifyFresh(other, 1, a.Token(other, 1)); err != nil {
+		t.Fatalf("per-node nonce space shared: %v", err)
+	}
+}
+
+// Property: only the exact (mn, nonce) pair verifies.
+func TestTokenBindingProperty(t *testing.T) {
+	a := newAuth(t)
+	prop := func(ip1, ip2 uint32, n1, n2 uint64) bool {
+		tok := a.Token(addr.IP(ip1), n1)
+		err := a.Verify(addr.IP(ip2), n2, tok)
+		if ip1 == ip2 && n1 == n2 {
+			return err == nil
+		}
+		return errors.Is(err, ErrBadToken)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+package cellularip
+
+import (
+	"repro/internal/addr"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// HostState is the Cellular IP host state (§2.2.2 paging).
+type HostState int
+
+// Host states.
+const (
+	StateActive HostState = iota + 1
+	StateIdle
+)
+
+// String implements fmt.Stringer.
+func (s HostState) String() string {
+	if s == StateActive {
+		return "active"
+	}
+	return "idle"
+}
+
+// dedup discards semisoft bicast duplicates by remembering recently seen
+// (flow, seq) pairs with FIFO eviction.
+type dedup struct {
+	seen map[uint64]bool
+	fifo []uint64
+	cap  int
+}
+
+func newDedup(capacity int) *dedup {
+	return &dedup{seen: make(map[uint64]bool, capacity), cap: capacity}
+}
+
+// duplicate records the packet and reports whether it was already seen.
+func (d *dedup) duplicate(flow, seq uint32) bool {
+	key := uint64(flow)<<32 | uint64(seq)
+	if d.seen[key] {
+		return true
+	}
+	d.seen[key] = true
+	d.fifo = append(d.fifo, key)
+	if len(d.fifo) > d.cap {
+		delete(d.seen, d.fifo[0])
+		d.fifo = d.fifo[1:]
+	}
+	return false
+}
+
+// MobileHost is the Cellular IP client: it refreshes its routing-cache
+// chain while active, pages while idle, and performs hard or semisoft
+// handoffs between base stations.
+type MobileHost struct {
+	node  *netsim.Node
+	ip    addr.IP
+	cfg   Config
+	sched *simtime.Scheduler
+	stats *Stats
+
+	bs    *BaseStation // serving station
+	oldBS *BaseStation // non-nil during a semisoft handoff window
+
+	state        HostState
+	seq          uint32
+	routeTicker  *simtime.Ticker
+	pagingTicker *simtime.Ticker
+	idleTimer    *simtime.Event
+	semisoftEvt  *simtime.Event
+	dedup        *dedup
+
+	// OnData receives every unique data packet delivered to the host.
+	OnData func(p *packet.Packet)
+}
+
+var _ netsim.Handler = (*MobileHost)(nil)
+
+// NewMobileHost attaches Cellular IP client behaviour to node under the
+// address ip (added to the node). Hosts start idle and detached.
+func NewMobileHost(node *netsim.Node, ip addr.IP, cfg Config, stats *Stats) *MobileHost {
+	h := &MobileHost{
+		node:  node,
+		ip:    ip,
+		cfg:   cfg,
+		sched: node.Network().Scheduler(),
+		stats: stats,
+		state: StateIdle,
+		dedup: newDedup(1024),
+	}
+	node.AddAddr(ip)
+	node.SetHandler(h)
+	return h
+}
+
+// Node returns the underlying network node.
+func (h *MobileHost) Node() *netsim.Node { return h.node }
+
+// IP returns the host address.
+func (h *MobileHost) IP() addr.IP { return h.ip }
+
+// State returns the current activity state.
+func (h *MobileHost) State() HostState { return h.state }
+
+// Serving returns the serving base station, nil when detached.
+func (h *MobileHost) Serving() *BaseStation { return h.bs }
+
+// AttachHard performs a Cellular IP hard handoff: break the old air link,
+// attach to bs, and send a route-update through it. Packets in flight on
+// the old path are lost until the crossover station learns the new path.
+func (h *MobileHost) AttachHard(bs *BaseStation) {
+	if h.bs == bs {
+		return
+	}
+	h.abortSemisoft()
+	if h.bs != nil {
+		h.bs.DetachHost(h.ip)
+		if h.stats != nil {
+			h.stats.Handoffs.Inc()
+		}
+	}
+	h.bs = bs
+	bs.AttachHost(h.ip, h.node)
+	// Sending a route update is active behaviour: a freshly attached or
+	// handed-off host is reachable through its routing chain until the
+	// active-state timeout demotes it.
+	h.state = StateActive
+	h.sendRouteUpdate(false)
+	h.restartTickers()
+}
+
+// AttachSemisoft performs a semisoft handoff: the host keeps receiving on
+// the old station while a semisoft route-update prepares the new path
+// (creating a bicast at the crossover). After SemisoftDelay it completes
+// the switch with a regular route-update.
+func (h *MobileHost) AttachSemisoft(bs *BaseStation) {
+	if h.bs == bs || bs == nil {
+		return
+	}
+	if h.bs == nil {
+		h.AttachHard(bs)
+		return
+	}
+	h.abortSemisoft()
+	h.oldBS = h.bs
+	h.bs = bs
+	bs.AttachHost(h.ip, h.node) // listen on both during the window
+	h.sendSemisoftUpdate()
+	h.semisoftEvt = h.sched.After(h.cfg.SemisoftDelay, h.completeSemisoft)
+}
+
+func (h *MobileHost) completeSemisoft() {
+	if h.oldBS != nil {
+		h.oldBS.DetachHost(h.ip)
+		h.oldBS = nil
+		if h.stats != nil {
+			h.stats.Handoffs.Inc()
+		}
+	}
+	h.state = StateActive
+	h.sendRouteUpdate(false)
+	h.restartTickers()
+}
+
+func (h *MobileHost) abortSemisoft() {
+	if h.semisoftEvt != nil {
+		h.semisoftEvt.Cancel()
+		h.semisoftEvt = nil
+	}
+	if h.oldBS != nil {
+		h.oldBS.DetachHost(h.ip)
+		h.oldBS = nil
+	}
+}
+
+// Detach drops the air link entirely (power off / out of coverage).
+func (h *MobileHost) Detach() {
+	h.abortSemisoft()
+	if h.bs != nil {
+		h.bs.DetachHost(h.ip)
+		h.bs = nil
+	}
+	h.stopTickers()
+}
+
+func (h *MobileHost) restartTickers() {
+	h.stopTickers()
+	if h.state == StateActive {
+		h.routeTicker = h.sched.Every(h.cfg.RouteUpdateTime, func() { h.sendRouteUpdate(false) })
+		h.armIdleTimer()
+	} else {
+		h.pagingTicker = h.sched.Every(h.cfg.PagingUpdateTime, h.sendPagingUpdate)
+	}
+}
+
+func (h *MobileHost) stopTickers() {
+	if h.routeTicker != nil {
+		h.routeTicker.Stop()
+	}
+	if h.pagingTicker != nil {
+		h.pagingTicker.Stop()
+	}
+	if h.idleTimer != nil {
+		h.idleTimer.Cancel()
+	}
+}
+
+func (h *MobileHost) armIdleTimer() {
+	if h.idleTimer != nil {
+		h.idleTimer.Cancel()
+	}
+	h.idleTimer = h.sched.After(h.cfg.ActiveTimeout, h.goIdle)
+}
+
+func (h *MobileHost) goIdle() {
+	if h.state == StateIdle {
+		return
+	}
+	h.state = StateIdle
+	if h.stats != nil {
+		h.stats.IdleTransitions.Inc()
+	}
+	h.restartTickers()
+}
+
+// goActive transitions to active and refreshes the route immediately, as
+// CIP requires when an idle host gets traffic.
+func (h *MobileHost) goActive() {
+	wasIdle := h.state == StateIdle
+	h.state = StateActive
+	if wasIdle {
+		h.sendRouteUpdate(false)
+		h.restartTickers()
+	} else {
+		h.armIdleTimer()
+	}
+}
+
+func (h *MobileHost) sendRouteUpdate(semisoft bool) {
+	h.sendControl(&RouteUpdate{Host: h.ip, Seq: h.nextSeq(), Semisoft: semisoft}, h.bs)
+}
+
+func (h *MobileHost) sendSemisoftUpdate() {
+	h.sendControl(&RouteUpdate{Host: h.ip, Seq: h.nextSeq(), Semisoft: true}, h.bs)
+}
+
+func (h *MobileHost) sendPagingUpdate() {
+	h.sendControl(&PagingUpdate{Host: h.ip, Seq: h.nextSeq()}, h.bs)
+}
+
+func (h *MobileHost) nextSeq() uint32 {
+	h.seq++
+	return h.seq
+}
+
+func (h *MobileHost) sendControl(msg Message, via *BaseStation) {
+	if via == nil {
+		return
+	}
+	var payload []byte
+	switch m := msg.(type) {
+	case *RouteUpdate:
+		payload = m.Marshal()
+	case *PagingUpdate:
+		payload = m.Marshal()
+	default:
+		return
+	}
+	pkt := packet.NewControl(h.ip, via.Node().Addr(), packet.ProtoCellular, payload)
+	if h.stats != nil {
+		h.stats.ControlBytes.Add(uint64(pkt.Size()))
+	}
+	_ = h.node.Network().DeliverDirect(h.node, via.Node(), pkt, h.cfg.AirDelay, h.cfg.AirLoss)
+}
+
+// SendData emits an uplink data packet through the serving station,
+// marking the host active.
+func (h *MobileHost) SendData(pkt *packet.Packet) {
+	if h.bs == nil {
+		h.node.Network().Drop(h.node, pkt, metrics.DropNoRoute)
+		return
+	}
+	h.goActive()
+	_ = h.node.Network().DeliverDirect(h.node, h.bs.Node(), pkt, h.cfg.AirDelay, h.cfg.AirLoss)
+}
+
+// Receive implements netsim.Handler: deduplicate, wake from idle, deliver.
+func (h *MobileHost) Receive(pkt *packet.Packet, from *netsim.Node, link *netsim.Link) {
+	if pkt.Proto == packet.ProtoCellular {
+		return // hosts do not process CIP control
+	}
+	if h.dedup.duplicate(pkt.FlowID, pkt.Seq) {
+		if h.stats != nil {
+			h.stats.BicastDuplicates.Inc()
+		}
+		return
+	}
+	h.goActive()
+	if h.OnData != nil {
+		h.OnData(pkt)
+	}
+}

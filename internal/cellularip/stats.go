@@ -1,0 +1,47 @@
+package cellularip
+
+import "repro/internal/metrics"
+
+// Stats aggregates the Cellular IP measurements E2 and E8 report.
+type Stats struct {
+	// RouteUpdates counts route-update packets processed at base stations.
+	RouteUpdates *metrics.Counter
+	// PagingUpdates counts paging-update packets processed.
+	PagingUpdates *metrics.Counter
+	// PagingBroadcasts counts per-link paging flood transmissions for
+	// hosts with no cache entry.
+	PagingBroadcasts *metrics.Counter
+	// StaleAirDrops counts downlink packets that reached a base station
+	// whose air mapping was stale (host moved away) — hard-handoff loss.
+	StaleAirDrops *metrics.Counter
+	// BicastDuplicates counts semisoft duplicates discarded by hosts.
+	BicastDuplicates *metrics.Counter
+	// Handoffs counts host attachment changes.
+	Handoffs *metrics.Counter
+	// ControlBytes counts Cellular IP control bytes emitted.
+	ControlBytes *metrics.Counter
+	// IdleTransitions counts active→idle transitions.
+	IdleTransitions *metrics.Counter
+	// Pages counts packets that had to use the paging path (cache or
+	// flood) because no routing entry existed.
+	Pages *metrics.Counter
+}
+
+// NewStats wires stats into a registry under the "cip." prefix. A nil
+// registry gets a private one.
+func NewStats(reg *metrics.Registry) *Stats {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Stats{
+		RouteUpdates:     reg.Counter("cip.route_updates"),
+		PagingUpdates:    reg.Counter("cip.paging_updates"),
+		PagingBroadcasts: reg.Counter("cip.paging_broadcasts"),
+		StaleAirDrops:    reg.Counter("cip.stale_air_drops"),
+		BicastDuplicates: reg.Counter("cip.bicast_duplicates"),
+		Handoffs:         reg.Counter("cip.handoffs"),
+		ControlBytes:     reg.Counter("cip.control_bytes"),
+		IdleTransitions:  reg.Counter("cip.idle_transitions"),
+		Pages:            reg.Counter("cip.pages"),
+	}
+}

@@ -1,0 +1,157 @@
+// Package core is the scenario engine: it assembles a multi-tier radio
+// topology, a population of mobile nodes with mobility models and
+// multimedia traffic, and one of four mobility-management schemes, runs
+// the discrete-event simulation, and reports comparable metrics.
+//
+// The four schemes share the same topology, mobility traces and traffic,
+// so differences in the results isolate the mobility management itself:
+//
+//   - SchemeMobileIP: plain Mobile IP with one Foreign Agent per macro
+//     cell (the paper's §2.2.1 baseline).
+//   - SchemeCellularIPHard / SchemeCellularIPSemisoft: a flat Cellular IP
+//     access network over all cells (§2.2.2 baseline) with hard or
+//     semisoft handoff.
+//   - SchemeMultiTier: the paper's contribution — hierarchical location
+//     management, the three-factor handoff strategy and RSMC resource
+//     switching (§3–§4).
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Scheme selects the mobility-management protocol under test.
+type Scheme string
+
+// Schemes.
+const (
+	SchemeMobileIP           Scheme = "mobile-ip"
+	SchemeCellularIPHard     Scheme = "cellular-ip-hard"
+	SchemeCellularIPSemisoft Scheme = "cellular-ip-semisoft"
+	SchemeMultiTier          Scheme = "multitier-rsmc"
+)
+
+// Schemes lists every scheme in comparison order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeMobileIP, SchemeCellularIPHard, SchemeCellularIPSemisoft, SchemeMultiTier}
+}
+
+// MobilityKind selects the movement model for the MN population.
+type MobilityKind string
+
+// Mobility kinds.
+const (
+	// MobilityWaypoint roams the whole arena (random waypoint).
+	MobilityWaypoint MobilityKind = "waypoint"
+	// MobilityShuttle ping-pongs each MN between two micro-cell centres
+	// (deterministic repeated handoffs).
+	MobilityShuttle MobilityKind = "shuttle"
+	// MobilityShuttleDomains ping-pongs each MN between the centres of
+	// two domain macro cells — the workload that forces macro-level
+	// (Mobile IP) handoffs and inter-domain multi-tier handoffs.
+	MobilityShuttleDomains MobilityKind = "shuttle-domains"
+	// MobilityShuttleTier ping-pongs each MN between a micro-cell centre
+	// and its domain macro centre — the workload that forces the
+	// micro→macro and macro→micro cases of Fig 3.4.
+	MobilityShuttleTier MobilityKind = "shuttle-tier"
+	// MobilityManhattan drives a street grid across the arena.
+	MobilityManhattan MobilityKind = "manhattan"
+	// MobilityStatic keeps MNs at micro-cell centres (no handoffs).
+	MobilityStatic MobilityKind = "static"
+)
+
+// TrafficConfig enables downlink flows per MN.
+type TrafficConfig struct {
+	// Voice enables a 64 kb/s conversational CBR stream.
+	Voice bool
+	// Video enables a ~300 kb/s streaming VBR stream.
+	Video bool
+	// DataMeanInterval enables a Poisson interactive flow with the given
+	// mean packet gap (0 disables).
+	DataMeanInterval time.Duration
+}
+
+// DemandBPS returns the admission-control bandwidth of the flow set.
+func (tc TrafficConfig) DemandBPS() float64 {
+	var bps float64
+	if tc.Voice {
+		bps += 64_000
+	}
+	if tc.Video {
+		bps += 300_000
+	}
+	if tc.DataMeanInterval > 0 {
+		bps += 32_000
+	}
+	if bps == 0 {
+		bps = 16_000 // signalling-only sessions still need a channel
+	}
+	return bps
+}
+
+// Config describes one scenario run.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed int64
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// Scheme is the mobility management under test.
+	Scheme Scheme
+	// Topology shapes the cell layout. Zero value takes
+	// topology.DefaultConfig.
+	Topology topology.Config
+	// NumMNs is the mobile-node population.
+	NumMNs int
+	// Mobility selects the movement model.
+	Mobility MobilityKind
+	// SpeedMPS is the (mean) node speed.
+	SpeedMPS float64
+	// Traffic enables per-MN downlink flows.
+	Traffic TrafficConfig
+	// MeasureInterval is the MN measurement/decision cadence.
+	MeasureInterval time.Duration
+	// ResourceSwitching toggles RSMC buffering (multi-tier only).
+	ResourceSwitching bool
+	// GuardChannels overrides the per-tier guard channel count when >= 0.
+	GuardChannels int
+	// AuthEnabled arms per-domain RSMC authentication (multi-tier only).
+	AuthEnabled bool
+	// TableTTL overrides the location-table record lifetime (0 keeps the
+	// station default) — ablation D1.
+	TableTTL time.Duration
+	// SemisoftDelay overrides the Cellular IP semisoft window (0 keeps
+	// the default) — ablation D2.
+	SemisoftDelay time.Duration
+	// Shadowing enables log-normal shadowing on MN measurements; off,
+	// handoffs are deterministic functions of position.
+	Shadowing bool
+}
+
+// DefaultConfig is a moderate scenario: one-root topology so every scheme
+// is well defined, 8 MNs shuttling between micro cells with voice.
+func DefaultConfig() Config {
+	topCfg := topology.DefaultConfig()
+	topCfg.Roots = 1
+	return Config{
+		Seed:              1,
+		Duration:          60 * time.Second,
+		Scheme:            SchemeMultiTier,
+		Topology:          topCfg,
+		NumMNs:            8,
+		Mobility:          MobilityShuttle,
+		SpeedMPS:          10,
+		Traffic:           TrafficConfig{Voice: true},
+		MeasureInterval:   100 * time.Millisecond,
+		ResourceSwitching: true,
+		GuardChannels:     -1,
+	}
+}
+
+// Errors returned by Run.
+var (
+	ErrBadScheme = errors.New("core: unknown scheme")
+	ErrBadConfig = errors.New("core: invalid config")
+)

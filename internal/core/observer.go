@@ -1,0 +1,105 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// flowObserver tallies the fate of application data packets (control
+// traffic is counted separately by each protocol's stats) and feeds the
+// end-to-end conservation check.
+type flowObserver struct {
+	account *metrics.LossAccount
+	drops   map[metrics.DropReason]*metrics.Counter
+	reg     *metrics.Registry
+}
+
+var _ netsim.Observer = (*flowObserver)(nil)
+
+func newFlowObserver(reg *metrics.Registry) *flowObserver {
+	return &flowObserver{
+		account: reg.Account("data.flows"),
+		drops:   make(map[metrics.DropReason]*metrics.Counter),
+		reg:     reg,
+	}
+}
+
+func (o *flowObserver) isData(pkt *packet.Packet) bool {
+	if pkt.Proto == packet.ProtoData {
+		return true
+	}
+	if pkt.Proto == packet.ProtoIPinIP && pkt.Inner != nil {
+		return pkt.Inner.Proto == packet.ProtoData
+	}
+	return false
+}
+
+// OnSend implements netsim.Observer. Sends are counted at the traffic
+// source (see scenario wiring), not per hop, so this only watches drops
+// and deliveries.
+func (o *flowObserver) OnSend(*netsim.Node, *packet.Packet) {}
+
+// OnDeliver implements netsim.Observer; per-hop deliveries are not
+// end-to-end deliveries, so this is a no-op too (the MN's OnData callback
+// counts final deliveries).
+func (o *flowObserver) OnDeliver(*netsim.Node, *packet.Packet) {}
+
+// OnDrop implements netsim.Observer.
+func (o *flowObserver) OnDrop(at *netsim.Node, pkt *packet.Packet, reason metrics.DropReason) {
+	if !o.isData(pkt) {
+		return
+	}
+	o.account.OnDropped(reason)
+	c, ok := o.drops[reason]
+	if !ok {
+		c = o.reg.Counter("data.drops." + reason.String())
+		o.drops[reason] = c
+	}
+	c.Inc()
+}
+
+// latencyTracker aggregates end-to-end delay/jitter per QoS class.
+type latencyTracker struct {
+	reg     *metrics.Registry
+	byClass map[packet.Class]*metrics.Histogram
+	jitter  map[packet.Class]*jitterState
+}
+
+type jitterState struct {
+	last time.Duration
+	hist *metrics.Histogram
+}
+
+func newLatencyTracker(reg *metrics.Registry) *latencyTracker {
+	return &latencyTracker{
+		reg:     reg,
+		byClass: make(map[packet.Class]*metrics.Histogram),
+		jitter:  make(map[packet.Class]*jitterState),
+	}
+}
+
+// observe records one delivered packet.
+func (lt *latencyTracker) observe(now time.Duration, pkt *packet.Packet) {
+	d := now - pkt.SentAt
+	h, ok := lt.byClass[pkt.Class]
+	if !ok {
+		h = lt.reg.Histogram("e2e.latency." + pkt.Class.String())
+		lt.byClass[pkt.Class] = h
+	}
+	h.Observe(d)
+	js, ok := lt.jitter[pkt.Class]
+	if !ok {
+		js = &jitterState{hist: lt.reg.Histogram("e2e.jitter." + pkt.Class.String())}
+		lt.jitter[pkt.Class] = js
+	} else {
+		delta := d - js.last
+		if delta < 0 {
+			delta = -delta
+		}
+		js.hist.Observe(delta)
+	}
+	js.last = d
+}

@@ -1,0 +1,511 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/auth"
+	"repro/internal/cellularip"
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/mobileip"
+	"repro/internal/mobility"
+	"repro/internal/multitier"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/rsmc"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Result is one completed scenario run.
+type Result struct {
+	Config   Config
+	Registry *metrics.Registry
+	Summary  Summary
+}
+
+// Summary condenses the metrics every experiment compares.
+type Summary struct {
+	Sent           uint64
+	Delivered      uint64
+	Dropped        uint64
+	LossRate       float64
+	MeanLatency    time.Duration
+	P95Latency     time.Duration
+	Handoffs       uint64
+	SignalingMsgs  uint64
+	SignalingBytes uint64
+}
+
+// String renders the summary as one comparison row.
+func (s Summary) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d loss=%.3f%% mean=%v p95=%v handoffs=%d signaling=%d msgs/%d B",
+		s.Sent, s.Delivered, s.Dropped, 100*s.LossRate,
+		s.MeanLatency.Round(time.Microsecond), s.P95Latency.Round(time.Microsecond),
+		s.Handoffs, s.SignalingMsgs, s.SignalingBytes)
+}
+
+const (
+	wiredDelay = 5 * time.Millisecond
+	homeNet    = "172.16.0.0/16"
+	haIP       = "172.16.0.1"
+	cnIP       = "192.0.2.10"
+)
+
+// scenario is the shared scaffold each scheme builds on.
+type scenario struct {
+	cfg   Config
+	sched *simtime.Scheduler
+	rng   *simtime.Rand
+	net   *netsim.Network
+	top   *topology.Topology
+	reg   *metrics.Registry
+	lat   *latencyTracker
+	acct  *metrics.LossAccount
+
+	inet       *netsim.Node
+	inetRouter *netsim.StaticRouter
+	cn         *netsim.Node
+	cnRouter   *netsim.StaticRouter
+
+	models   []mobility.Model
+	handoffs *metrics.Counter
+}
+
+// Run executes one scenario and returns its results.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Duration <= 0 || cfg.NumMNs <= 0 {
+		return nil, fmt.Errorf("%w: duration %v, %d MNs", ErrBadConfig, cfg.Duration, cfg.NumMNs)
+	}
+	if cfg.MeasureInterval <= 0 {
+		cfg.MeasureInterval = 100 * time.Millisecond
+	}
+	if cfg.Topology.Roots == 0 {
+		cfg.Topology = topology.DefaultConfig()
+	}
+	top, err := topology.Build(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+
+	s := &scenario{
+		cfg:   cfg,
+		sched: simtime.NewScheduler(),
+		rng:   simtime.NewRand(cfg.Seed),
+		top:   top,
+		reg:   metrics.NewRegistry(),
+	}
+	s.net = netsim.New(s.sched, s.rng)
+	s.lat = newLatencyTracker(s.reg)
+	s.acct = s.reg.Account("data.flows")
+	s.net.SetObserver(newFlowObserver(s.reg))
+	s.handoffs = s.reg.Counter("handoffs")
+
+	s.inet = s.net.NewNode("inet")
+	s.inetRouter = netsim.NewStaticRouter(s.inet)
+	s.cn = s.net.NewNode("cn")
+	s.cn.AddAddr(addr.MustParse(cnIP))
+	s.cnRouter = netsim.NewStaticRouter(s.cn)
+	lCN := s.net.Connect(s.inet, s.cn, netsim.LinkConfig{Delay: wiredDelay})
+	s.inetRouter.AddRoute(addr.MustParsePrefix("192.0.2.0/24"), lCN)
+	s.cnRouter.Default = lCN
+
+	s.buildMobility()
+
+	switch cfg.Scheme {
+	case SchemeMobileIP:
+		err = s.runMobileIP()
+	case SchemeCellularIPHard, SchemeCellularIPSemisoft:
+		err = s.runCellularIP(cfg.Scheme == SchemeCellularIPSemisoft)
+	case SchemeMultiTier:
+		err = s.runMultiTier()
+	default:
+		err = fmt.Errorf("%w: %q", ErrBadScheme, cfg.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if err := s.sched.RunUntil(cfg.Duration); err != nil {
+		return nil, fmt.Errorf("run: %w", err)
+	}
+	return &Result{Config: cfg, Registry: s.reg, Summary: s.summarize()}, nil
+}
+
+// buildMobility creates one model per MN.
+func (s *scenario) buildMobility() {
+	rng := s.rng.Fork()
+	micros := s.top.CellsOfTier(topology.TierMicro)
+	s.models = make([]mobility.Model, s.cfg.NumMNs)
+	for i := range s.models {
+		switch s.cfg.Mobility {
+		case MobilityWaypoint:
+			s.models[i] = mobility.NewWaypoint(mobility.WaypointConfig{
+				Arena:    s.top.Arena,
+				MinSpeed: s.cfg.SpeedMPS * 0.5,
+				MaxSpeed: s.cfg.SpeedMPS * 1.5,
+				MaxPause: 5 * time.Second,
+				Start:    micros[i%len(micros)].Pos,
+			}, rng.Fork())
+		case MobilityManhattan:
+			s.models[i] = mobility.NewManhattan(mobility.ManhattanConfig{
+				Arena:   s.top.Arena,
+				Spacing: 200,
+				Speed:   s.cfg.SpeedMPS,
+				Start:   micros[i%len(micros)].Pos,
+			}, rng.Fork())
+		case MobilityStatic:
+			s.models[i] = mobility.NewStationary(micros[i%len(micros)].Pos)
+		case MobilityShuttleDomains:
+			macros := s.top.CellsOfTier(topology.TierMacro)
+			a := macros[i%len(macros)]
+			b := macros[(i+1)%len(macros)]
+			s.models[i] = mobility.NewPingPong(a.Pos, b.Pos, s.cfg.SpeedMPS)
+		case MobilityShuttleTier:
+			m := micros[i%len(micros)]
+			macro := s.top.Cell(s.top.DomainRoot(m.ID))
+			s.models[i] = mobility.NewPingPong(m.Pos, macro.Pos, s.cfg.SpeedMPS)
+		default: // MobilityShuttle
+			a := micros[i%len(micros)]
+			b := micros[(i+1)%len(micros)]
+			s.models[i] = mobility.NewPingPong(a.Pos, b.Pos, s.cfg.SpeedMPS)
+		}
+	}
+}
+
+// mnHome returns the i-th MN's home address inside the HA prefix.
+func mnHome(i int) addr.IP {
+	p := addr.MustParsePrefix(homeNet)
+	ip, _ := p.Nth(uint32(10 + i))
+	return ip
+}
+
+// startTraffic wires the configured downlink generators for MN i toward
+// dst and starts them after a 1 s attach grace period.
+func (s *scenario) startTraffic(i int, dst addr.IP, rng *simtime.Rand) {
+	sink := func(p *packet.Packet) {
+		s.acct.OnSent()
+		s.cnRouter.Forward(p)
+	}
+	base := uint32(i)*4 + 1
+	var gens []traffic.Generator
+	if s.cfg.Traffic.Voice {
+		gens = append(gens, traffic.NewVoice(traffic.Flow{ID: base, Src: s.cn.Addr(), Dst: dst}, sink))
+	}
+	if s.cfg.Traffic.Video {
+		gens = append(gens, traffic.NewVBRVideo(traffic.Flow{ID: base + 1, Src: s.cn.Addr(), Dst: dst},
+			traffic.DefaultVideoConfig(), rng.Fork(), sink))
+	}
+	if s.cfg.Traffic.DataMeanInterval > 0 {
+		gens = append(gens, traffic.NewPoisson(traffic.Flow{ID: base + 2, Src: s.cn.Addr(), Dst: dst, Class: packet.ClassInteractive},
+			512, s.cfg.Traffic.DataMeanInterval, rng.Fork(), sink))
+	}
+	s.sched.At(time.Second, func() {
+		for _, g := range gens {
+			g.Start(s.sched)
+		}
+	})
+}
+
+// onDelivered returns the per-MN delivery callback.
+func (s *scenario) onDelivered() func(p *packet.Packet) {
+	return func(p *packet.Packet) {
+		s.acct.OnDelivered(len(p.Payload))
+		s.lat.observe(s.sched.Now(), p)
+	}
+}
+
+// driver schedules fn on the measurement cadence, staggered per MN.
+func (s *scenario) driver(i int, fn func(pos geo.Point, speed float64)) {
+	model := s.models[i]
+	offset := time.Duration(i+1) * s.cfg.MeasureInterval / time.Duration(s.cfg.NumMNs+1)
+	s.sched.At(offset, func() {
+		tick := func() {
+			now := s.sched.Now()
+			fn(model.Position(now), mobility.Speed(model, now))
+		}
+		tick()
+		s.sched.Every(s.cfg.MeasureInterval, tick)
+	})
+}
+
+// measureRng returns the shadowing source for MN measurements (nil when
+// shadowing is disabled — deterministic mean signals).
+func (s *scenario) measureRng() *simtime.Rand {
+	if s.cfg.Shadowing {
+		return s.rng.Fork()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Scheme: plain Mobile IP (one FA per macro-class cell)
+
+func (s *scenario) runMobileIP() error {
+	stats := mobileip.NewStats(s.reg)
+
+	haNode := s.net.NewNode("ha")
+	haNode.AddAddr(addr.MustParse(haIP))
+	ha := mobileip.NewHomeAgent(haNode, addr.MustParsePrefix(homeNet), stats)
+	lHA := s.net.Connect(s.inet, haNode, netsim.LinkConfig{Delay: wiredDelay})
+	s.inetRouter.AddRoute(addr.MustParsePrefix(homeNet), lHA)
+	ha.Router().Default = lHA
+
+	// One FA per macro-class cell, each on its own wired link.
+	fas := make(map[topology.CellID]*mobileip.ForeignAgent)
+	var faCells []*topology.Cell
+	for _, c := range s.top.Cells {
+		if c.Tier != topology.TierMacro && c.Tier != topology.TierRoot {
+			continue
+		}
+		faCells = append(faCells, c)
+		node := s.net.NewNode("fa-" + c.Name)
+		coa, err := c.Prefix.Nth(1)
+		if err != nil {
+			return fmt.Errorf("fa address: %w", err)
+		}
+		node.AddAddr(coa)
+		fa := mobileip.NewForeignAgent(node, coa, stats)
+		fa.AirDelay = c.Radio.AirDelay
+		l := s.net.Connect(s.inet, node, netsim.LinkConfig{Delay: wiredDelay})
+		s.inetRouter.AddRoute(c.Prefix, l)
+		fa.Router().Default = l
+		fas[c.ID] = fa
+	}
+
+	sel := radio.DefaultSelector()
+	measure := s.measureRng()
+	for i := 0; i < s.cfg.NumMNs; i++ {
+		home := mnHome(i)
+		mnNode := s.net.NewNode(fmt.Sprintf("mn-%d", i))
+		cfg := mobileip.DefaultMNConfig()
+		mn := mobileip.NewMobileNode(mnNode, home, addr.MustParse(haIP), cfg, stats)
+		mn.OnData = s.onDelivered()
+		s.startTraffic(i, home, s.rng.Fork())
+
+		current := topology.NoCell
+		s.driver(i, func(pos geo.Point, speed float64) {
+			sigs := make([]radio.Signal, 0, len(faCells))
+			for _, c := range faCells {
+				sigs = append(sigs, radio.MeasureAt(int(c.ID), c.Radio, c.Pos, pos, measure))
+			}
+			best := topology.CellID(sel.Best(int(current), sigs))
+			if best == topology.NoCell || best == current {
+				return
+			}
+			current = best
+			s.handoffs.Inc()
+			mn.MoveTo(fas[best])
+		})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Scheme: flat Cellular IP over every cell
+
+func (s *scenario) runCellularIP(semisoft bool) error {
+	stats := cellularip.NewStats(s.reg)
+	cipCfg := cellularip.DefaultConfig()
+	if s.cfg.SemisoftDelay > 0 {
+		cipCfg.SemisoftDelay = s.cfg.SemisoftDelay
+	}
+
+	// The first root is the gateway; further roots chain beneath it so a
+	// single tree spans the arena.
+	roots := s.top.CellsOfTier(topology.TierRoot)
+	gwCell := roots[0]
+	served := gwCell.Prefix
+	stations := make(map[topology.CellID]*cellularip.BaseStation, len(s.top.Cells))
+	for _, c := range s.top.Cells {
+		node := s.net.NewNode("cip-" + c.Name)
+		if ip, err := c.Prefix.Nth(1); err == nil {
+			node.AddAddr(ip)
+		}
+		if c.ID == gwCell.ID {
+			stations[c.ID] = cellularip.NewGateway(node, served, cipCfg, stats)
+		} else {
+			stations[c.ID] = cellularip.NewBaseStation(node, cipCfg, stats)
+		}
+	}
+	linkCfg := netsim.LinkConfig{Delay: 2 * time.Millisecond}
+	for _, c := range s.top.Cells {
+		switch {
+		case c.Parent != topology.NoCell:
+			stations[c.Parent].ConnectChild(stations[c.ID], linkCfg)
+		case c.ID != gwCell.ID:
+			stations[gwCell.ID].ConnectChild(stations[c.ID], linkCfg)
+		}
+	}
+	gw := stations[gwCell.ID]
+	lGW := s.net.Connect(s.inet, gw.Node(), netsim.LinkConfig{Delay: wiredDelay})
+	s.inetRouter.AddRoute(served, lGW)
+	gw.External().Default = lGW
+
+	sel := radio.DefaultSelector()
+	measure := s.measureRng()
+	for i := 0; i < s.cfg.NumMNs; i++ {
+		ip, err := served.Nth(uint32(1000 + i))
+		if err != nil {
+			return fmt.Errorf("cip host address: %w", err)
+		}
+		node := s.net.NewNode(fmt.Sprintf("mn-%d", i))
+		host := cellularip.NewMobileHost(node, ip, cipCfg, stats)
+		host.OnData = s.onDelivered()
+		s.startTraffic(i, ip, s.rng.Fork())
+
+		current := topology.NoCell
+		s.driver(i, func(pos geo.Point, speed float64) {
+			sigs := s.top.Signals(pos, measure)
+			best := topology.CellID(sel.Best(int(current), sigs))
+			if best == topology.NoCell || best == current {
+				return
+			}
+			current = best
+			s.handoffs.Inc()
+			if semisoft {
+				host.AttachSemisoft(stations[best])
+			} else {
+				host.AttachHard(stations[best])
+			}
+		})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Scheme: the paper's multi-tier architecture with RSMC
+
+func (s *scenario) runMultiTier() error {
+	stats := multitier.NewStats(s.reg)
+	dir := multitier.NewDirectory()
+
+	stationCfg := func(tier topology.Tier) multitier.StationConfig {
+		c := multitier.DefaultStationConfig(tier)
+		c.ResourceSwitching = s.cfg.ResourceSwitching
+		if s.cfg.GuardChannels >= 0 {
+			c.GuardChannels = s.cfg.GuardChannels
+		}
+		if s.cfg.TableTTL > 0 {
+			c.TableTTL = s.cfg.TableTTL
+		}
+		return c
+	}
+	fcfg := multitier.DefaultFabricConfig()
+	fcfg.StationConfigFor = stationCfg
+	fab, err := multitier.BuildFabric(s.net, s.top, fcfg, dir, stats)
+	if err != nil {
+		return fmt.Errorf("fabric: %w", err)
+	}
+
+	haNode := s.net.NewNode("ha")
+	haNode.AddAddr(addr.MustParse(haIP))
+	ha := mobileip.NewHomeAgent(haNode, addr.MustParsePrefix(homeNet), mobileip.NewStats(s.reg))
+	lHA := s.net.Connect(s.inet, haNode, netsim.LinkConfig{Delay: wiredDelay})
+	s.inetRouter.AddRoute(addr.MustParsePrefix(homeNet), lHA)
+	ha.Router().Default = lHA
+
+	for _, root := range fab.Roots {
+		l := s.net.Connect(s.inet, root.Node(), netsim.LinkConfig{Delay: wiredDelay})
+		s.inetRouter.AddRoute(root.Cell().Prefix, l)
+		fab.External(root.Cell().ID).Default = l
+	}
+
+	// One RSMC per domain; optionally armed with an authenticator shared
+	// through the directory.
+	for _, dom := range s.top.Domains {
+		head := fab.Station(dom.Root)
+		var a *auth.Authenticator
+		if s.cfg.AuthEnabled {
+			var err error
+			a, err = auth.New([]byte(fmt.Sprintf("domain-%d-secret", dom.ID)))
+			if err != nil {
+				return fmt.Errorf("auth: %w", err)
+			}
+			dir.SetDomainAuth(dom.ID, a)
+		}
+		ctrl := rsmc.New(head, a, rsmc.NewStats(s.reg, dom.ID))
+		// Every station of the domain authenticates against the domain
+		// RSMC.
+		for _, cid := range dom.Cells {
+			fab.Station(cid).SetController(ctrl)
+		}
+	}
+
+	pol := multitier.DefaultPolicy()
+	for i := 0; i < s.cfg.NumMNs; i++ {
+		home := mnHome(i)
+		prof := &multitier.Profile{
+			Home:      home,
+			HomeAgent: addr.MustParse(haIP),
+			DemandBPS: s.cfg.Traffic.DemandBPS(),
+		}
+		dir.AddProfile(prof)
+		node := s.net.NewNode(fmt.Sprintf("mn-%d", i))
+		mob := multitier.NewMobile(node, prof, s.top, dir, pol, multitier.DefaultMobileConfig(),
+			s.measureRng(), stats)
+		mob.OnData = s.onDelivered()
+		mob.OnHandoff = func(multitier.HandoffKind, time.Duration) { s.handoffs.Inc() }
+		s.startTraffic(i, home, s.rng.Fork())
+		s.driver(i, mob.Evaluate)
+	}
+	return nil
+}
+
+// summarize condenses the registry into the comparison row. LossRate is
+// the undelivered fraction (1 - delivered/sent): bicast and paging-flood
+// clones mean raw drop counts can exceed sends, but each sent packet is
+// delivered at most once (receiver dedup), so undelivered is the honest
+// loss measure.
+func (s *scenario) summarize() Summary {
+	sum := Summary{
+		Sent:      s.acct.Sent,
+		Delivered: s.acct.Delivered,
+		Dropped:   s.acct.Dropped(),
+		Handoffs:  s.reg.Counter("handoffs").Value(),
+	}
+	if sum.Sent > 0 {
+		sum.LossRate = 1 - float64(sum.Delivered)/float64(sum.Sent)
+	}
+	if h, ok := s.latencyAll(); ok {
+		sum.MeanLatency = h.Mean()
+		sum.P95Latency = h.Quantile(0.95)
+	}
+	switch s.cfg.Scheme {
+	case SchemeMobileIP:
+		sum.SignalingMsgs = s.reg.Counter("mip.signaling.messages").Value()
+		sum.SignalingBytes = s.reg.Counter("mip.signaling.bytes").Value()
+	case SchemeCellularIPHard, SchemeCellularIPSemisoft:
+		sum.SignalingMsgs = s.reg.Counter("cip.route_updates").Value() +
+			s.reg.Counter("cip.paging_updates").Value()
+		sum.SignalingBytes = s.reg.Counter("cip.control_bytes").Value()
+	case SchemeMultiTier:
+		sum.SignalingMsgs = s.reg.Counter("tier.location_msgs").Value() +
+			s.reg.Counter("tier.update_msgs").Value() +
+			s.reg.Counter("tier.delete_msgs").Value() +
+			s.reg.Counter("mip.signaling.messages").Value()
+		sum.SignalingBytes = s.reg.Counter("tier.control_bytes").Value() +
+			s.reg.Counter("mip.signaling.bytes").Value()
+	}
+	return sum
+}
+
+// latencyAll merges the per-class latency histograms.
+func (s *scenario) latencyAll() (*metrics.Histogram, bool) {
+	merged := &metrics.Histogram{}
+	found := false
+	for _, class := range []packet.Class{packet.ClassConversational, packet.ClassStreaming, packet.ClassInteractive, packet.ClassBackground} {
+		name := "e2e.latency." + class.String()
+		for _, n := range s.reg.Names() {
+			if n == name {
+				merged.Merge(s.reg.Histogram(name))
+				found = true
+			}
+		}
+	}
+	return merged, found
+}

@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Options scale the experiment suite. The zero value takes full-length
+// runs; tests and benchmarks shrink TimeScale.
+type Options struct {
+	// Seed drives every run (each experiment offsets it deterministically).
+	Seed int64
+	// TimeScale multiplies scenario durations; 0 means 1.0.
+	TimeScale float64
+}
+
+func (o Options) scale(d time.Duration) time.Duration {
+	s := o.TimeScale
+	if s <= 0 {
+		s = 1
+	}
+	out := time.Duration(float64(d) * s)
+	if out < 2*time.Second {
+		out = 2 * time.Second
+	}
+	return out
+}
+
+// oneRoot is the topology on which every scheme is well defined.
+func oneRoot() topology.Config {
+	cfg := topology.DefaultConfig()
+	cfg.Roots = 1
+	return cfg
+}
+
+func mustRun(cfg core.Config) (*core.Result, error) {
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", cfg.Scheme, err)
+	}
+	return res, nil
+}
+
+// E1MobileIPProcedures reproduces Fig 2.2: registration and triangle
+// routing through HA and FA, reporting the registration latency and
+// tunnelling overhead the later experiments improve on.
+func E1MobileIPProcedures(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Mobile IP procedures (Fig 2.2): registration latency and tunnel overhead",
+		Header: []string{"metric", "value"},
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = opt.Seed + 1
+	cfg.Scheme = core.SchemeMobileIP
+	cfg.Topology = oneRoot()
+	cfg.Duration = opt.scale(30 * time.Second)
+	cfg.NumMNs = 4
+	cfg.Mobility = core.MobilityStatic
+	res, err := mustRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reg := res.Registry
+	regLat := reg.Histogram("mip.registration.latency")
+	t.AddRow("registration latency (mean)", fmtDur(regLat.Mean()))
+	t.AddRow("registration latency (p95)", fmtDur(regLat.Quantile(0.95)))
+	t.AddRow("registrations", fmtI(regLat.Count()))
+	intercepts := reg.Counter("mip.ha.intercepts").Value()
+	overhead := reg.Counter("mip.tunnel.overhead_bytes").Value()
+	t.AddRow("HA intercepts (tunnelled packets)", fmtI(intercepts))
+	if intercepts > 0 {
+		t.AddRow("tunnel overhead per packet", fmt.Sprintf("%d B", overhead/intercepts))
+	}
+	t.AddRow("delivery loss", fmtPct(res.Summary.LossRate))
+	t.AddRow("signaling messages", fmtI(res.Summary.SignalingMsgs))
+	t.AddNote("static MNs: losses, if any, come from registration windows only")
+	return t, nil
+}
+
+// E2CellularIPHandoff reproduces Fig 2.3/2.4: hard vs semisoft handoff
+// loss as crossing rate grows.
+func E2CellularIPHandoff(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Cellular IP handoff (Fig 2.4): hard vs semisoft loss",
+		Header: []string{"speed", "scheme", "handoffs", "loss", "stale drops", "bicast dups"},
+	}
+	for _, speed := range []float64{5, 10, 20} {
+		for _, scheme := range []core.Scheme{core.SchemeCellularIPHard, core.SchemeCellularIPSemisoft} {
+			cfg := core.DefaultConfig()
+			cfg.Seed = opt.Seed + 2
+			cfg.Scheme = scheme
+			cfg.Topology = oneRoot()
+			cfg.Duration = opt.scale(3 * time.Minute)
+			cfg.NumMNs = 6
+			cfg.Mobility = core.MobilityShuttle
+			cfg.SpeedMPS = speed
+			res, err := mustRun(cfg)
+			if err != nil {
+				return nil, err
+			}
+			reg := res.Registry
+			t.AddRow(fmtF(speed)+" m/s", string(scheme),
+				fmtI(res.Summary.Handoffs),
+				fmtPct(res.Summary.LossRate),
+				fmtI(reg.Counter("cip.stale_air_drops").Value()),
+				fmtI(reg.Counter("cip.bicast_duplicates").Value()))
+		}
+	}
+	t.AddNote("expected shape: semisoft ~zero loss at every speed; hard loses one crossover window per handoff")
+	return t, nil
+}
+
+// E3LocationManagement reproduces Fig 3.1's hierarchical tables:
+// signalling cost versus population and the TTL ablation (D1).
+func E3LocationManagement(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Location management (Fig 3.1): signalling vs population; table TTL ablation",
+		Header: []string{"MNs", "table TTL", "location msgs/s", "control B/s", "loss", "pages"},
+	}
+	dur := opt.scale(time.Minute)
+	run := func(n int, ttl time.Duration, label string) error {
+		cfg := core.DefaultConfig()
+		cfg.Seed = opt.Seed + 3
+		cfg.Scheme = core.SchemeMultiTier
+		cfg.Topology = oneRoot()
+		cfg.Duration = dur
+		cfg.NumMNs = n
+		cfg.Mobility = core.MobilityShuttle
+		cfg.SpeedMPS = 10
+		cfg.TableTTL = ttl
+		res, err := mustRun(cfg)
+		if err != nil {
+			return err
+		}
+		secs := cfg.Duration.Seconds()
+		reg := res.Registry
+		t.AddRow(fmtI(n), label,
+			fmtF(float64(reg.Counter("tier.location_msgs").Value())/secs),
+			fmtF(float64(reg.Counter("tier.control_bytes").Value())/secs),
+			fmtPct(res.Summary.LossRate),
+			fmtI(reg.Counter("tier.pages").Value()))
+		return nil
+	}
+	for _, n := range []int{4, 8, 16} {
+		if err := run(n, 0, "default"); err != nil {
+			return nil, err
+		}
+	}
+	// D1 ablation: a TTL shorter than the 1 s location refresh lets
+	// records lapse between refreshes, forcing paging floods.
+	for _, ttl := range []time.Duration{500 * time.Millisecond, 3 * time.Second, 10 * time.Second} {
+		if err := run(8, ttl, ttl.String()); err != nil {
+			return nil, err
+		}
+	}
+	t.AddNote("signalling grows linearly with population; TTL below the refresh interval forces pages")
+	return t, nil
+}
+
+// E4InterDomain reproduces Figs 3.2/3.3: the cost gap between same-upper
+// and different-upper inter-domain handoffs.
+func E4InterDomain(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E4",
+		Title:  "Inter-domain handoff (Figs 3.2/3.3): same vs different upper BS",
+		Header: []string{"workload", "same-upper", "diff-upper", "intra", "adm lat", "HA regs", "redirects", "loss"},
+	}
+	run := func(speed float64, label string) error {
+		cfg := core.DefaultConfig()
+		cfg.Seed = opt.Seed + 4
+		cfg.Scheme = core.SchemeMultiTier
+		cfg.Topology = topology.DefaultConfig() // two roots
+		cfg.Duration = opt.scale(20 * time.Minute)
+		cfg.NumMNs = 6
+		cfg.Mobility = core.MobilityShuttleDomains
+		cfg.SpeedMPS = speed
+		res, err := mustRun(cfg)
+		if err != nil {
+			return err
+		}
+		reg := res.Registry
+		intra := reg.Counter("tier.handoffs.intra/micro-macro").Value() +
+			reg.Counter("tier.handoffs.intra/macro-micro").Value() +
+			reg.Counter("tier.handoffs.intra/micro-micro").Value()
+		t.AddRow(label,
+			fmtI(reg.Counter("tier.handoffs.inter/same-upper").Value()),
+			fmtI(reg.Counter("tier.handoffs.inter/diff-upper").Value()),
+			fmtI(intra),
+			fmtDur(reg.Histogram("tier.handoff.latency").Mean()),
+			fmtI(reg.Counter("tier.anchor.registrations").Value()),
+			fmtI(reg.Counter("tier.redirects").Value()),
+			fmtPct(res.Summary.LossRate))
+		return nil
+	}
+	// Fast MNs ride the macro/root tier and cross root boundaries
+	// (Fig 3.3: different upper BS, home network involved).
+	if err := run(25, "fast (25 m/s)"); err != nil {
+		return nil, err
+	}
+	// Slow MNs camp on macro cells and cross domain boundaries under the
+	// shared root (Fig 3.2: same upper BS, no home involvement).
+	if err := run(11, "slow (11 m/s)"); err != nil {
+		return nil, err
+	}
+	t.AddNote("only diff-upper handoffs register with the home network; same-upper re-points the shared root")
+	return t, nil
+}
+
+// E5IntraDomain reproduces Fig 3.4: the three intra-domain cases.
+func E5IntraDomain(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E5",
+		Title:  "Intra-domain handoff (Fig 3.4): micro-micro / micro-macro / macro-micro",
+		Header: []string{"workload", "micro-micro", "micro-macro", "macro-micro", "loss", "drained"},
+	}
+	run := func(mob core.MobilityKind, speed float64, label string) error {
+		cfg := core.DefaultConfig()
+		cfg.Seed = opt.Seed + 5
+		cfg.Scheme = core.SchemeMultiTier
+		cfg.Topology = oneRoot()
+		cfg.Duration = opt.scale(10 * time.Minute)
+		cfg.NumMNs = 6
+		cfg.Mobility = mob
+		cfg.SpeedMPS = speed
+		res, err := mustRun(cfg)
+		if err != nil {
+			return err
+		}
+		reg := res.Registry
+		t.AddRow(label,
+			fmtI(reg.Counter("tier.handoffs.intra/micro-micro").Value()),
+			fmtI(reg.Counter("tier.handoffs.intra/micro-macro").Value()),
+			fmtI(reg.Counter("tier.handoffs.intra/macro-micro").Value()),
+			fmtPct(res.Summary.LossRate),
+			fmtI(reg.Counter("tier.rs.drained").Value()))
+		return nil
+	}
+	// Fig 3.4 case c: slow shuttle between adjacent micro cells.
+	if err := run(core.MobilityShuttle, 8, "micro shuttle (8 m/s)"); err != nil {
+		return nil, err
+	}
+	// Fig 3.4 cases a+b: shuttle between a micro centre and the macro
+	// centre — repeatedly leaving and re-entering micro coverage.
+	if err := run(core.MobilityShuttleTier, 10, "tier shuttle (10 m/s)"); err != nil {
+		return nil, err
+	}
+	t.AddNote("row 1 exercises case c (micro→micro); row 2 alternates cases b and a (micro→macro→micro)")
+	return t, nil
+}
+
+// E6SchemeComparison is the headline comparison behind §4's claims.
+func E6SchemeComparison(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "Scheme comparison (Fig 4.1 claims): loss / latency / signalling per scheme",
+		Header: []string{"speed", "scheme", "loss", "mean delay", "p95 delay", "handoffs", "signal msgs"},
+	}
+	for _, speed := range []float64{10, 25} {
+		for _, scheme := range core.Schemes() {
+			cfg := core.DefaultConfig()
+			cfg.Seed = opt.Seed + 6
+			cfg.Scheme = scheme
+			cfg.Topology = oneRoot()
+			cfg.Duration = opt.scale(20 * time.Minute)
+			cfg.NumMNs = 4
+			cfg.Mobility = core.MobilityShuttleDomains
+			cfg.SpeedMPS = speed
+			cfg.Traffic = core.TrafficConfig{Voice: true, Video: true}
+			res, err := mustRun(cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmtF(speed), string(scheme),
+				fmtPct(res.Summary.LossRate),
+				fmtDur(res.Summary.MeanLatency),
+				fmtDur(res.Summary.P95Latency),
+				fmtI(res.Summary.Handoffs),
+				fmtI(res.Summary.SignalingMsgs))
+		}
+	}
+	t.AddNote("expected shape: multitier-rsmc <= cip-semisoft < cip-hard < mobile-ip on loss")
+	return t, nil
+}
+
+// E7ResourceSwitching isolates §4's "resource switching management to
+// reduce data packet loss" and the guard-channel ablation (D3).
+func E7ResourceSwitching(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "Resource switching (§4): buffering vs loss; guard channels",
+		Header: []string{"resource switching", "guard", "loss", "buffered", "drained", "stale drops", "rejects"},
+	}
+	for _, rs := range []bool{true, false} {
+		for _, guard := range []int{0, 4} {
+			cfg := core.DefaultConfig()
+			cfg.Seed = opt.Seed + 7
+			cfg.Scheme = core.SchemeMultiTier
+			cfg.Topology = oneRoot()
+			cfg.Duration = opt.scale(6 * time.Minute)
+			cfg.NumMNs = 8
+			cfg.Mobility = core.MobilityShuttle
+			cfg.SpeedMPS = 8 // below the macro-speed threshold: micro churn
+			cfg.ResourceSwitching = rs
+			cfg.GuardChannels = guard
+			cfg.Traffic = core.TrafficConfig{Voice: true, Video: true}
+			res, err := mustRun(cfg)
+			if err != nil {
+				return nil, err
+			}
+			reg := res.Registry
+			t.AddRow(fmt.Sprintf("%v", rs), fmtI(guard),
+				fmtPct(res.Summary.LossRate),
+				fmtI(reg.Counter("tier.rs.buffered").Value()),
+				fmtI(reg.Counter("tier.rs.drained").Value()),
+				fmtI(reg.Counter("tier.stale_air_drops").Value()),
+				fmtI(reg.Counter("tier.handoff.rejects").Value()))
+		}
+	}
+	t.AddNote("with switching on, in-flight packets are buffered and drained instead of dropped")
+	return t, nil
+}
+
+// E8PagingAndRSMCLoad measures idle-mode signalling and RSMC load (§4:
+// "the load of RSMC is very low").
+func E8PagingAndRSMCLoad(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Paging and RSMC load (§2.2.2, §4): idle vs active signalling",
+		Header: []string{"MNs", "mode", "signal msgs/s", "pages", "page broadcasts", "RSMC ops/s"},
+	}
+	dur := opt.scale(2 * time.Minute)
+	for _, n := range []int{4, 8, 16} {
+		for _, active := range []bool{true, false} {
+			cfg := core.DefaultConfig()
+			cfg.Seed = opt.Seed + 8
+			cfg.Scheme = core.SchemeMultiTier
+			cfg.Topology = oneRoot()
+			cfg.Duration = dur
+			cfg.NumMNs = n
+			cfg.Mobility = core.MobilityStatic
+			if active {
+				cfg.Traffic = core.TrafficConfig{Voice: true}
+			} else {
+				// Idle population with an occasional datagram that must
+				// be paged in.
+				cfg.Traffic = core.TrafficConfig{DataMeanInterval: 20 * time.Second}
+			}
+			res, err := mustRun(cfg)
+			if err != nil {
+				return nil, err
+			}
+			reg := res.Registry
+			secs := cfg.Duration.Seconds()
+			var rsmcOps uint64
+			for d := 0; d < 8; d++ {
+				rsmcOps += reg.Counter(fmt.Sprintf("rsmc.%d.operations", d)).Value()
+			}
+			mode := "active"
+			if !active {
+				mode = "idle"
+			}
+			t.AddRow(fmtI(n), mode,
+				fmtF(float64(res.Summary.SignalingMsgs)/secs),
+				fmtI(reg.Counter("tier.pages").Value()),
+				fmtI(reg.Counter("tier.page_broadcasts").Value()),
+				fmtF(float64(rsmcOps)/secs))
+		}
+	}
+	t.AddNote("idle mode trades paging floods on arrival for a ~10x lower signalling rate")
+	return t, nil
+}
+
+// All runs every experiment in order.
+func All(opt Options) ([]*Table, error) {
+	runs := []func(Options) (*Table, error){
+		E1MobileIPProcedures,
+		E2CellularIPHandoff,
+		E3LocationManagement,
+		E4InterDomain,
+		E5IntraDomain,
+		E6SchemeComparison,
+		E7ResourceSwitching,
+		E8PagingAndRSMCLoad,
+	}
+	out := make([]*Table, 0, len(runs))
+	for _, run := range runs {
+		tbl, err := run(opt)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}

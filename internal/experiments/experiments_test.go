@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick runs every experiment at 1/40 time scale so the suite stays fast
+// while still exercising the full pipelines.
+var quick = Options{Seed: 7, TimeScale: 0.025}
+
+func TestE1Shape(t *testing.T) {
+	tbl, err := E1MobileIPProcedures(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("E1 rows = %d", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.String(), "registration latency") {
+		t.Fatal("E1 table missing registration latency")
+	}
+}
+
+func TestE2SemisoftBeatsHard(t *testing.T) {
+	tbl, err := E2CellularIPHandoff(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows alternate hard/semisoft per speed; stale drops column index 4.
+	var hardDrops, softDrops uint64
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseUint(row[4], 10, 64)
+		if err != nil {
+			t.Fatalf("bad stale drops cell %q", row[4])
+		}
+		if strings.Contains(row[1], "semisoft") {
+			softDrops += v
+		} else {
+			hardDrops += v
+		}
+	}
+	if softDrops > hardDrops {
+		t.Fatalf("semisoft drops %d > hard drops %d", softDrops, hardDrops)
+	}
+}
+
+func TestE3SignalingGrowsWithPopulation(t *testing.T) {
+	tbl, err := E3LocationManagement(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First three rows are the population sweep (4, 8, 16 MNs).
+	rate := func(i int) float64 {
+		v, err := strconv.ParseFloat(tbl.Rows[i][2], 64)
+		if err != nil {
+			t.Fatalf("bad rate cell %q", tbl.Rows[i][2])
+		}
+		return v
+	}
+	if !(rate(0) < rate(1) && rate(1) < rate(2)) {
+		t.Fatalf("location msgs/s not increasing: %v %v %v", rate(0), rate(1), rate(2))
+	}
+}
+
+func TestE6HeadlineShape(t *testing.T) {
+	opt := quick
+	opt.TimeScale = 0.05 // needs enough crossings; still < 1 min virtual
+	tbl, err := E6SchemeComparison(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := make(map[string]float64)
+	for _, row := range tbl.Rows {
+		if row[0] != "25.00" {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad loss cell %q", row[2])
+		}
+		loss[row[1]] = v
+	}
+	if len(loss) != 4 {
+		t.Fatalf("expected 4 schemes at speed 25, got %v", loss)
+	}
+	if loss["mobile-ip"] < loss["cellular-ip-semisoft"] {
+		t.Fatalf("shape violated: mip %.4f < semisoft %.4f", loss["mobile-ip"], loss["cellular-ip-semisoft"])
+	}
+	if loss["mobile-ip"] < loss["multitier-rsmc"] {
+		t.Fatalf("shape violated: mip %.4f < multitier %.4f", loss["mobile-ip"], loss["multitier-rsmc"])
+	}
+}
+
+func TestE7ResourceSwitchingReducesLoss(t *testing.T) {
+	tbl, err := E7ResourceSwitching(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	// Rows: rs=true guard 0/4, rs=false guard 0/4; compare same guard.
+	onLoss := parse(tbl.Rows[0][2]) + parse(tbl.Rows[1][2])
+	offLoss := parse(tbl.Rows[2][2]) + parse(tbl.Rows[3][2])
+	if onLoss > offLoss {
+		t.Fatalf("resource switching increased loss: on=%.4f off=%.4f", onLoss, offLoss)
+	}
+}
+
+func TestE8IdleSignalsLessThanActive(t *testing.T) {
+	tbl, err := E8PagingAndRSMCLoad(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var activeRate, idleRate float64
+	for _, row := range tbl.Rows {
+		if row[0] != "8" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad rate %q", row[2])
+		}
+		if row[1] == "active" {
+			activeRate = v
+		} else {
+			idleRate = v
+		}
+	}
+	if idleRate >= activeRate {
+		t.Fatalf("idle signalling %.2f/s >= active %.2f/s", idleRate, activeRate)
+	}
+}
+
+func TestE4AndE5Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	opt := quick
+	tbl4, err := E4InterDomain(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl4.Rows) != 2 || len(tbl4.Rows[0]) != 8 {
+		t.Fatalf("E4 shape: %d rows x %d cols", len(tbl4.Rows), len(tbl4.Rows[0]))
+	}
+	tbl5, err := E5IntraDomain(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl5.Rows) != 2 || len(tbl5.Rows[0]) != 6 {
+		t.Fatalf("E5 shape: %d rows x %d cols", len(tbl5.Rows), len(tbl5.Rows[0]))
+	}
+}
+
+func TestAllProducesEveryTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	tables, err := All(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 8 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+	for i, tbl := range tables {
+		if tbl.ID != ids[i] {
+			t.Fatalf("table %d id %s", i, tbl.ID)
+		}
+		if out := tbl.String(); len(out) < 40 {
+			t.Fatalf("table %s renders too little:\n%s", tbl.ID, out)
+		}
+	}
+}
+
+func TestOptionsScaleFloor(t *testing.T) {
+	o := Options{TimeScale: 0.0001}
+	if got := o.scale(time.Minute); got != 2*time.Second {
+		t.Fatalf("scale floor = %v", got)
+	}
+	o = Options{}
+	if got := o.scale(time.Minute); got != time.Minute {
+		t.Fatalf("identity scale = %v", got)
+	}
+}

@@ -1,0 +1,289 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 7 {
+		t.Fatalf("Value = %d, want 7", c.Value())
+	}
+}
+
+func TestHistogramMoments(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		h.Observe(d * time.Millisecond)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 30*time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 50*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	sd := h.Stddev().Seconds()
+	if math.Abs(sd-math.Sqrt(0.0002)) > 1e-6 {
+		t.Fatalf("Stddev = %v", h.Stddev())
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative observation not clamped: min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// 1..1000 ms uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for _, tt := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	} {
+		got := h.Quantile(tt.p)
+		// Log buckets are conservative within ~4.5%.
+		lo := time.Duration(float64(tt.want) * 0.95)
+		hi := time.Duration(float64(tt.want) * 1.06)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", tt.p, got, lo, hi)
+		}
+	}
+	if h.Quantile(0) != h.Min() {
+		t.Fatal("Quantile(0) should be min")
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatal("Quantile(1) should be max")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Stddev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.String() != "n=0" {
+		t.Fatalf("empty String = %q", h.String())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 200*time.Millisecond {
+		t.Fatalf("merged Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	want := 100500 * time.Millisecond / 1000 // mean of 1..200 ms = 100.5ms
+	if got := a.Mean(); got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("merged Mean = %v", got)
+	}
+	a.Merge(nil) // must not panic
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count() != 200 {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+// Property: quantile is monotone in p and bounded by [min, max].
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(time.Duration(v%10_000_000) * time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			q := h.Quantile(p)
+			if q < prev || q < h.Min() || q > h.Max() {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Observe(v)
+	}
+	if s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 || s.Count() != 5 {
+		t.Fatalf("stats: mean=%v min=%v max=%v n=%d", s.Mean(), s.Min(), s.Max(), s.Count())
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	var empty Sample
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestLossAccountConservation(t *testing.T) {
+	l := NewLossAccount()
+	for i := 0; i < 100; i++ {
+		l.OnSent()
+	}
+	for i := 0; i < 80; i++ {
+		l.OnDelivered(100)
+	}
+	for i := 0; i < 7; i++ {
+		l.OnDropped(DropHandoff)
+	}
+	l.OnDropped(DropQueueFull)
+	l.OnDropped(DropLinkLoss)
+	l.OnDuplicate()
+	if l.Dropped() != 9 {
+		t.Fatalf("Dropped = %d", l.Dropped())
+	}
+	if l.InFlight() != 11 {
+		t.Fatalf("InFlight = %d", l.InFlight())
+	}
+	if math.Abs(l.LossRate()-0.09) > 1e-12 {
+		t.Fatalf("LossRate = %v", l.LossRate())
+	}
+	if l.Bytes != 8000 {
+		t.Fatalf("Bytes = %d", l.Bytes)
+	}
+	if l.Duplicate != 1 {
+		t.Fatalf("Duplicate = %d", l.Duplicate)
+	}
+}
+
+func TestLossAccountMerge(t *testing.T) {
+	a, b := NewLossAccount(), NewLossAccount()
+	a.OnSent()
+	a.OnDropped(DropTTL)
+	b.OnSent()
+	b.OnSent()
+	b.OnDelivered(10)
+	b.OnDropped(DropTTL)
+	b.OnDropped(DropAuth)
+	a.Merge(b)
+	if a.Sent != 3 || a.Delivered != 1 || a.Dropped() != 3 {
+		t.Fatalf("merged = %s", a)
+	}
+	if a.Drops[DropTTL] != 2 || a.Drops[DropAuth] != 1 {
+		t.Fatalf("merged drops = %v", a.Drops)
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestLossAccountEmptyRate(t *testing.T) {
+	l := NewLossAccount()
+	if l.LossRate() != 0 || l.InFlight() != 0 {
+		t.Fatal("empty account should be all zeros")
+	}
+}
+
+func TestDropReasonStrings(t *testing.T) {
+	reasons := []DropReason{DropQueueFull, DropLinkLoss, DropNoRoute, DropTTL,
+		DropHandoff, DropStale, DropAdmission, DropAuth, DropBSDown, DropReason(99)}
+	seen := make(map[string]bool)
+	for _, r := range reasons {
+		s := r.String()
+		if s == "" || seen[s] {
+			t.Fatalf("DropReason %d has empty/duplicate String %q", r, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestTimeSeriesBinning(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Observe(100*time.Millisecond, 1)
+	ts.Observe(900*time.Millisecond, 3)
+	ts.Observe(1500*time.Millisecond, 10)
+	ts.Observe(5*time.Second, 7)
+	pts := ts.Points()
+	if len(pts) != 3 {
+		t.Fatalf("got %d bins, want 3", len(pts))
+	}
+	if pts[0].At != 0 || pts[0].Mean != 2 || pts[0].Count != 2 {
+		t.Fatalf("bin 0 = %+v", pts[0])
+	}
+	if pts[1].At != time.Second || pts[1].Mean != 10 {
+		t.Fatalf("bin 1 = %+v", pts[1])
+	}
+	if pts[2].At != 5*time.Second || pts[2].Mean != 7 {
+		t.Fatalf("bin 2 = %+v", pts[2])
+	}
+}
+
+func TestTimeSeriesBadBinWidthDefaults(t *testing.T) {
+	ts := NewTimeSeries(0)
+	if ts.BinWidth != time.Second {
+		t.Fatalf("BinWidth = %v", ts.BinWidth)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handoffs").Inc()
+	r.Histogram("latency").Observe(time.Millisecond)
+	r.Sample("load").Observe(0.5)
+	r.Account("voice").OnSent()
+	if c := r.Counter("handoffs"); c.Value() != 1 {
+		t.Fatal("Counter not shared across lookups")
+	}
+	names := r.Names()
+	want := []string{"handoffs", "latency", "load", "voice"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names order = %v, want %v", names, want)
+		}
+	}
+	out := r.Render()
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Fatalf("Render missing %q:\n%s", w, out)
+		}
+	}
+	// Mutating the returned name slice must not corrupt the registry.
+	names[0] = "corrupted"
+	if r.Names()[0] != "handoffs" {
+		t.Fatal("Names returned internal slice")
+	}
+}

@@ -1,0 +1,203 @@
+package mobileip
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// Binding is one home-address → care-of-address mapping in the HA cache.
+type Binding struct {
+	Home    addr.IP
+	CareOf  addr.IP
+	Expires time.Duration // virtual time of expiry
+	LastID  uint64        // highest registration ID accepted
+}
+
+// HomeAgent serves a home network prefix: it answers registrations for
+// mobile nodes whose home addresses lie in the prefix and intercepts data
+// packets addressed to them, tunnelling to the registered care-of address
+// (Fig 2.2 step 2a). It embeds a static router for ordinary forwarding.
+type HomeAgent struct {
+	node   *netsim.Node
+	router *netsim.StaticRouter
+	prefix addr.Prefix
+	sched  *simtime.Scheduler
+	stats  *Stats
+
+	bindings map[addr.IP]*Binding
+	// atHome maps home addresses to node handles for nodes currently on
+	// the home link, reachable without tunnelling.
+	atHome map[addr.IP]*netsim.Node
+	// homeAirDelay is the home-link delivery latency.
+	homeAirDelay time.Duration
+	// maxLifetime caps granted registration lifetimes; zero means accept
+	// whatever is requested.
+	maxLifetime time.Duration
+	generation  map[addr.IP]uint64 // expiry-sweep generation per binding
+}
+
+var _ netsim.Handler = (*HomeAgent)(nil)
+
+// NewHomeAgent attaches a Home Agent to node, serving prefix. The node's
+// handler is replaced. The router starts with no routes; callers add
+// routes/default for the wired side.
+func NewHomeAgent(node *netsim.Node, prefix addr.Prefix, stats *Stats) *HomeAgent {
+	ha := &HomeAgent{
+		node:         node,
+		prefix:       prefix,
+		sched:        node.Network().Scheduler(),
+		stats:        stats,
+		bindings:     make(map[addr.IP]*Binding),
+		atHome:       make(map[addr.IP]*netsim.Node),
+		homeAirDelay: 2 * time.Millisecond,
+		generation:   make(map[addr.IP]uint64),
+	}
+	ha.router = netsim.NewStaticRouter(node)
+	node.SetHandler(ha)
+	return ha
+}
+
+// Node returns the underlying network node.
+func (ha *HomeAgent) Node() *netsim.Node { return ha.node }
+
+// Router returns the embedded router for wired route configuration.
+func (ha *HomeAgent) Router() *netsim.StaticRouter { return ha.router }
+
+// Prefix returns the served home prefix.
+func (ha *HomeAgent) Prefix() addr.Prefix { return ha.prefix }
+
+// SetMaxLifetime caps granted registration lifetimes.
+func (ha *HomeAgent) SetMaxLifetime(d time.Duration) { ha.maxLifetime = d }
+
+// AttachHome marks a mobile node as present on the home link.
+func (ha *HomeAgent) AttachHome(home addr.IP, node *netsim.Node) { ha.atHome[home] = node }
+
+// DetachHome removes a node from the home link.
+func (ha *HomeAgent) DetachHome(home addr.IP) { delete(ha.atHome, home) }
+
+// Binding returns the current binding for home, or nil.
+func (ha *HomeAgent) Binding(home addr.IP) *Binding {
+	b := ha.bindings[home]
+	if b == nil || b.Expires < ha.sched.Now() {
+		return nil
+	}
+	return b
+}
+
+// BindingCount returns the number of live bindings.
+func (ha *HomeAgent) BindingCount() int {
+	n := 0
+	for _, b := range ha.bindings {
+		if b.Expires >= ha.sched.Now() {
+			n++
+		}
+	}
+	return n
+}
+
+// Receive implements netsim.Handler.
+func (ha *HomeAgent) Receive(pkt *packet.Packet, from *netsim.Node, link *netsim.Link) {
+	switch {
+	case pkt.Proto == packet.ProtoMobileIP && ha.node.HasAddr(pkt.Dst):
+		ha.handleControl(pkt)
+	case ha.prefix.Contains(pkt.Dst) && !ha.node.HasAddr(pkt.Dst):
+		ha.intercept(pkt)
+	case ha.node.HasAddr(pkt.Dst):
+		// Addressed to us but not Mobile IP control: consumed silently.
+	default:
+		ha.router.Forward(pkt)
+	}
+}
+
+func (ha *HomeAgent) handleControl(pkt *packet.Packet) {
+	msg, err := ParseMessage(pkt.Payload)
+	if err != nil {
+		return // malformed control is silently dropped, as in real stacks
+	}
+	req, ok := msg.(*RegistrationRequest)
+	if !ok {
+		return
+	}
+	reply := &RegistrationReply{
+		Home:     req.Home,
+		HomeAg:   req.HomeAg,
+		CareOf:   req.CareOf,
+		Lifetime: req.Lifetime,
+		ID:       req.ID,
+	}
+	switch {
+	case !ha.prefix.Contains(req.Home):
+		reply.Code = CodeDeniedUnknownHome
+	case ha.maxLifetime > 0 && req.Lifetime > ha.maxLifetime:
+		reply.Code = CodeAccepted
+		reply.Lifetime = ha.maxLifetime
+	default:
+		reply.Code = CodeAccepted
+	}
+	if reply.Code == CodeAccepted {
+		if old := ha.bindings[req.Home]; old != nil && req.ID < old.LastID {
+			// Out-of-order retransmission of an older move: ignore it so a
+			// late-arriving stale request cannot clobber a newer binding.
+			reply.Code = CodeDeniedLifetime
+		}
+	}
+	if reply.Code == CodeAccepted {
+		if req.CareOf.IsUnspecified() {
+			delete(ha.bindings, req.Home)
+		} else {
+			ha.generation[req.Home]++
+			gen := ha.generation[req.Home]
+			ha.bindings[req.Home] = &Binding{
+				Home:    req.Home,
+				CareOf:  req.CareOf,
+				Expires: ha.sched.Now() + reply.Lifetime,
+				LastID:  req.ID,
+			}
+			// Soft-state expiry: drop the binding unless refreshed.
+			ha.sched.After(reply.Lifetime, func() {
+				if ha.generation[req.Home] == gen {
+					delete(ha.bindings, req.Home)
+				}
+			})
+		}
+	} else if ha.stats != nil {
+		ha.stats.Denials.Inc()
+	}
+
+	out := packet.NewControl(ha.node.Addr(), pkt.Src, packet.ProtoMobileIP, reply.Marshal())
+	if ha.stats != nil {
+		ha.stats.Signaling.Inc()
+		ha.stats.SignalingBytes.Add(uint64(out.Size()))
+	}
+	ha.router.Forward(out)
+}
+
+// intercept tunnels a data packet for a registered visitor, delivers it on
+// the home link when the node is home, or drops it.
+func (ha *HomeAgent) intercept(pkt *packet.Packet) {
+	if node, ok := ha.atHome[pkt.Dst]; ok {
+		_ = ha.node.Network().DeliverDirect(ha.node, node, pkt, ha.homeAirDelay, 0)
+		return
+	}
+	b := ha.Binding(pkt.Dst)
+	if b == nil {
+		// No binding and not at home: Mobile IP loses the packet while the
+		// node is between registrations.
+		ha.node.Network().Drop(ha.node, pkt, metrics.DropStale)
+		return
+	}
+	tun, err := packet.Encapsulate(ha.node.Addr(), b.CareOf, pkt)
+	if err != nil {
+		return
+	}
+	if ha.stats != nil {
+		ha.stats.Intercepts.Inc()
+		ha.stats.TunnelOverheadBytes.Add(packet.HeaderSize)
+	}
+	ha.router.Forward(tun)
+}

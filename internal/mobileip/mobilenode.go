@@ -1,0 +1,248 @@
+package mobileip
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// MNConfig tunes a mobile node's registration behaviour.
+type MNConfig struct {
+	// Lifetime requested in registrations; renewed at 80% of grant.
+	Lifetime time.Duration
+	// RetryInterval between registration retransmissions.
+	RetryInterval time.Duration
+	// MaxRetries before a registration attempt is abandoned.
+	MaxRetries int
+	// AirDelay and AirLoss characterise the uplink to the serving agent.
+	AirDelay time.Duration
+	AirLoss  float64
+}
+
+// DefaultMNConfig mirrors common Mobile IP deployments.
+func DefaultMNConfig() MNConfig {
+	return MNConfig{
+		Lifetime:      60 * time.Second,
+		RetryInterval: 500 * time.Millisecond,
+		MaxRetries:    4,
+		AirDelay:      5 * time.Millisecond,
+	}
+}
+
+// MobileNode is the Mobile IP client state machine: it keeps exactly one
+// registration current — either a care-of binding through the serving
+// Foreign Agent or a deregistration when at home.
+type MobileNode struct {
+	node  *netsim.Node
+	home  addr.IP
+	ha    addr.IP
+	cfg   MNConfig
+	sched *simtime.Scheduler
+	stats *Stats
+
+	current    *ForeignAgent // nil when at home / detached
+	registered bool
+	nextID     uint64
+	pendingID  uint64
+	sentAt     time.Duration
+	retries    int
+	retryEvt   *simtime.Event
+	renewEvt   *simtime.Event
+
+	// OnData is invoked for every data packet delivered to the node.
+	OnData func(p *packet.Packet)
+	// OnRegistered is invoked when a registration round-trip completes.
+	OnRegistered func(latency time.Duration)
+	// OnRegistrationFailed is invoked after MaxRetries without a reply.
+	OnRegistrationFailed func()
+}
+
+var _ netsim.Handler = (*MobileNode)(nil)
+
+// NewMobileNode attaches Mobile IP client behaviour to node. home is the
+// permanent address (added to the node), ha the Home Agent's address.
+func NewMobileNode(node *netsim.Node, home, ha addr.IP, cfg MNConfig, stats *Stats) *MobileNode {
+	mn := &MobileNode{
+		node:  node,
+		home:  home,
+		ha:    ha,
+		cfg:   cfg,
+		sched: node.Network().Scheduler(),
+		stats: stats,
+	}
+	node.AddAddr(home)
+	node.SetHandler(mn)
+	return mn
+}
+
+// Node returns the underlying network node.
+func (mn *MobileNode) Node() *netsim.Node { return mn.node }
+
+// Home returns the permanent home address.
+func (mn *MobileNode) Home() addr.IP { return mn.home }
+
+// Registered reports whether the current location is registered with the
+// Home Agent.
+func (mn *MobileNode) Registered() bool { return mn.registered }
+
+// CurrentAgent returns the serving Foreign Agent, nil when at home.
+func (mn *MobileNode) CurrentAgent() *ForeignAgent { return mn.current }
+
+// MoveTo associates with a new Foreign Agent: the radio link to the old
+// agent breaks immediately (its visitor entry goes), the node attaches to
+// the new agent and registers through it. Packets tunnelled to the old
+// care-of address during the registration round-trip are lost — Mobile
+// IP's handoff loss window.
+func (mn *MobileNode) MoveTo(fa *ForeignAgent) {
+	if mn.current == fa {
+		return
+	}
+	if mn.current != nil {
+		mn.current.Detach(mn.home)
+	}
+	mn.current = fa
+	mn.registered = false
+	fa.Attach(mn.home, mn.node)
+	mn.startRegistration(fa.CareOf())
+}
+
+// ReturnHome deregisters: the node detaches from its agent and asks the HA
+// to drop the binding (care-of = 0).
+func (mn *MobileNode) ReturnHome() {
+	if mn.current != nil {
+		mn.current.Detach(mn.home)
+		mn.current = nil
+	}
+	mn.registered = false
+	mn.startRegistration(addr.Unspecified)
+}
+
+func (mn *MobileNode) startRegistration(careOf addr.IP) {
+	mn.cancelTimers()
+	mn.nextID++
+	mn.pendingID = mn.nextID
+	mn.retries = 0
+	mn.sentAt = mn.sched.Now()
+	mn.sendRegistration(careOf, false)
+}
+
+func (mn *MobileNode) sendRegistration(careOf addr.IP, isRetry bool) {
+	req := &RegistrationRequest{
+		Home:     mn.home,
+		HomeAg:   mn.ha,
+		CareOf:   careOf,
+		Lifetime: mn.cfg.Lifetime,
+		ID:       mn.pendingID,
+	}
+	if isRetry && mn.stats != nil {
+		mn.stats.Retries.Inc()
+	}
+	if mn.stats != nil {
+		mn.stats.Signaling.Inc()
+	}
+	if mn.current != nil {
+		// Over the air to the FA, which relays (Fig 2.2 step 1b).
+		pkt := packet.NewControl(mn.home, mn.current.Node().Addr(), packet.ProtoMobileIP, req.Marshal())
+		if mn.stats != nil {
+			mn.stats.SignalingBytes.Add(uint64(pkt.Size()))
+		}
+		_ = mn.node.Network().DeliverDirect(mn.node, mn.current.Node(), pkt, mn.cfg.AirDelay, mn.cfg.AirLoss)
+	} else {
+		// Deregistration sent directly to the HA over the home link: model
+		// as an air hop to the HA node.
+		haNode := mn.node.Network().NodeByAddr(mn.ha)
+		if haNode == nil {
+			return
+		}
+		pkt := packet.NewControl(mn.home, mn.ha, packet.ProtoMobileIP, req.Marshal())
+		if mn.stats != nil {
+			mn.stats.SignalingBytes.Add(uint64(pkt.Size()))
+		}
+		_ = mn.node.Network().DeliverDirect(mn.node, haNode, pkt, mn.cfg.AirDelay, mn.cfg.AirLoss)
+	}
+	mn.retryEvt = mn.sched.After(mn.cfg.RetryInterval, func() { mn.onRetryTimer(careOf) })
+}
+
+func (mn *MobileNode) onRetryTimer(careOf addr.IP) {
+	if mn.registered {
+		return
+	}
+	if mn.retries >= mn.cfg.MaxRetries {
+		if mn.OnRegistrationFailed != nil {
+			mn.OnRegistrationFailed()
+		}
+		return
+	}
+	mn.retries++
+	mn.sendRegistration(careOf, true)
+}
+
+func (mn *MobileNode) cancelTimers() {
+	if mn.retryEvt != nil {
+		mn.retryEvt.Cancel()
+	}
+	if mn.renewEvt != nil {
+		mn.renewEvt.Cancel()
+	}
+}
+
+// Receive implements netsim.Handler: data packets go to OnData,
+// registration replies complete the state machine.
+func (mn *MobileNode) Receive(pkt *packet.Packet, from *netsim.Node, link *netsim.Link) {
+	if pkt.Proto != packet.ProtoMobileIP {
+		if mn.OnData != nil {
+			mn.OnData(pkt)
+		}
+		return
+	}
+	msg, err := ParseMessage(pkt.Payload)
+	if err != nil {
+		return
+	}
+	reply, ok := msg.(*RegistrationReply)
+	if !ok {
+		return // advertisements are informational here
+	}
+	if reply.ID != mn.pendingID || mn.registered {
+		return // stale or duplicate reply
+	}
+	if reply.Code != CodeAccepted {
+		return // denial: the retry timer will retransmit until MaxRetries
+	}
+	mn.registered = true
+	mn.cancelTimers()
+	latency := mn.sched.Now() - mn.sentAt
+	if mn.stats != nil {
+		mn.stats.RegLatency.Observe(latency)
+	}
+	if mn.OnRegistered != nil {
+		mn.OnRegistered(latency)
+	}
+	// Renew at 80% of the granted lifetime while still attached.
+	if reply.Lifetime > 0 && !reply.CareOf.IsUnspecified() {
+		renew := time.Duration(float64(reply.Lifetime) * 0.8)
+		mn.renewEvt = mn.sched.After(renew, func() {
+			if mn.current != nil && mn.current.CareOf() == reply.CareOf {
+				mn.registered = false
+				mn.startRegistration(reply.CareOf)
+			}
+		})
+	}
+}
+
+// SendData emits an uplink data packet through the current agent (or the
+// home link when at home), as Fig 2.2 step 2b: uplink traffic follows
+// ordinary IP routing.
+func (mn *MobileNode) SendData(pkt *packet.Packet) {
+	if mn.current != nil {
+		_ = mn.node.Network().DeliverDirect(mn.node, mn.current.Node(), pkt, mn.cfg.AirDelay, mn.cfg.AirLoss)
+		return
+	}
+	haNode := mn.node.Network().NodeByAddr(mn.ha)
+	if haNode != nil {
+		_ = mn.node.Network().DeliverDirect(mn.node, haNode, pkt, mn.cfg.AirDelay, mn.cfg.AirLoss)
+	}
+}

@@ -1,0 +1,45 @@
+package mobileip
+
+import "repro/internal/metrics"
+
+// Stats aggregates the Mobile IP measurements E1 and E6 report.
+type Stats struct {
+	// RegLatency is the MN-observed time from sending a registration
+	// request to receiving the matching accepted reply.
+	RegLatency *metrics.Histogram
+	// Signaling counts Mobile IP control messages emitted (requests,
+	// replies, advertisements, relays).
+	Signaling *metrics.Counter
+	// SignalingBytes counts control bytes emitted.
+	SignalingBytes *metrics.Counter
+	// Retries counts registration retransmissions.
+	Retries *metrics.Counter
+	// Denials counts rejected registrations.
+	Denials *metrics.Counter
+	// Intercepts counts packets the HA intercepted for tunnelling.
+	Intercepts *metrics.Counter
+	// TunnelOverheadBytes counts the extra outer-header bytes added by
+	// IP-in-IP encapsulation — the paper's triangle-routing tax.
+	TunnelOverheadBytes *metrics.Counter
+	// StaleAtFA counts tunnelled packets arriving at a Foreign Agent
+	// after the visitor left — Mobile IP's handoff loss.
+	StaleAtFA *metrics.Counter
+}
+
+// NewStats wires stats into a registry under the "mip." prefix. A nil
+// registry gets a private one (tests).
+func NewStats(reg *metrics.Registry) *Stats {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Stats{
+		RegLatency:          reg.Histogram("mip.registration.latency"),
+		Signaling:           reg.Counter("mip.signaling.messages"),
+		SignalingBytes:      reg.Counter("mip.signaling.bytes"),
+		Retries:             reg.Counter("mip.registration.retries"),
+		Denials:             reg.Counter("mip.registration.denials"),
+		Intercepts:          reg.Counter("mip.ha.intercepts"),
+		TunnelOverheadBytes: reg.Counter("mip.tunnel.overhead_bytes"),
+		StaleAtFA:           reg.Counter("mip.fa.stale_packets"),
+	}
+}

@@ -1,0 +1,400 @@
+package multitier
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// MobileConfig tunes the MN-side protocol behaviour.
+type MobileConfig struct {
+	// LocationInterval is the active-state Location Message period
+	// (§3.1: "MNs need to send a 'Location Message' … periodical").
+	LocationInterval time.Duration
+	// PagingInterval is the idle-state period.
+	PagingInterval time.Duration
+	// ActiveTimeout demotes an MN to idle after this long without data.
+	ActiveTimeout time.Duration
+	// HandoffTimeout abandons an unanswered handoff request.
+	HandoffTimeout time.Duration
+	// AirDelay and AirLoss characterise the MN's uplink.
+	AirDelay time.Duration
+	AirLoss  float64
+}
+
+// DefaultMobileConfig matches the station defaults.
+func DefaultMobileConfig() MobileConfig {
+	return MobileConfig{
+		LocationInterval: time.Second,
+		PagingInterval:   10 * time.Second,
+		ActiveTimeout:    2 * time.Second,
+		HandoffTimeout:   300 * time.Millisecond,
+		AirDelay:         4 * time.Millisecond,
+	}
+}
+
+// pendingHandoff tracks one in-flight handoff request.
+type pendingHandoff struct {
+	target  topology.CellID
+	seq     uint32
+	sentAt  time.Duration
+	timeout *simtime.Event
+}
+
+// Mobile is the multi-tier mobile node: it runs the paper's MN-controlled
+// handoff (decide by speed/signal/resources, request, commit with Update +
+// Delete Location Messages) and the periodic location refresh.
+type Mobile struct {
+	node    *netsim.Node
+	profile *Profile
+	top     *topology.Topology
+	dir     *Directory
+	pol     Policy
+	cfg     MobileConfig
+	sched   *simtime.Scheduler
+	stats   *Stats
+	rng     *simtime.Rand
+
+	servingCell topology.CellID
+	serving     *Station
+	pending     *pendingHandoff
+	seq         uint32
+	nonce       uint64
+	state       HostState
+	locTicker   *simtime.Ticker
+	idleTimer   *simtime.Event
+	dedupe      *dedup
+
+	// OnData receives every unique data packet delivered to the MN.
+	OnData func(p *packet.Packet)
+	// OnHandoff is told about every committed handoff.
+	OnHandoff func(kind HandoffKind, latency time.Duration)
+	// OnDetached is told when the MN loses coverage entirely.
+	OnDetached func()
+}
+
+// HostState mirrors the Cellular IP active/idle notion at the multi-tier
+// level.
+type HostState int
+
+// States.
+const (
+	StateActive HostState = iota + 1
+	StateIdle
+)
+
+var _ netsim.Handler = (*Mobile)(nil)
+
+// NewMobile attaches multi-tier MN behaviour to node. The profile must
+// already be in the directory.
+func NewMobile(node *netsim.Node, profile *Profile, top *topology.Topology, dir *Directory,
+	pol Policy, cfg MobileConfig, rng *simtime.Rand, stats *Stats) *Mobile {
+
+	m := &Mobile{
+		node:        node,
+		profile:     profile,
+		top:         top,
+		dir:         dir,
+		pol:         pol,
+		cfg:         cfg,
+		sched:       node.Network().Scheduler(),
+		stats:       stats,
+		rng:         rng,
+		servingCell: topology.NoCell,
+		state:       StateIdle,
+		dedupe:      newDedup(1024),
+	}
+	node.AddAddr(profile.Home)
+	node.SetHandler(m)
+	return m
+}
+
+// dedup is a small FIFO-evicting duplicate filter (bicast and page floods
+// can deliver copies).
+type dedup struct {
+	seen map[uint64]bool
+	fifo []uint64
+	cap  int
+}
+
+func newDedup(capacity int) *dedup {
+	return &dedup{seen: make(map[uint64]bool, capacity), cap: capacity}
+}
+
+func (d *dedup) duplicate(flow, seq uint32) bool {
+	key := uint64(flow)<<32 | uint64(seq)
+	if d.seen[key] {
+		return true
+	}
+	d.seen[key] = true
+	d.fifo = append(d.fifo, key)
+	if len(d.fifo) > d.cap {
+		delete(d.seen, d.fifo[0])
+		d.fifo = d.fifo[1:]
+	}
+	return false
+}
+
+// Node returns the underlying network node.
+func (m *Mobile) Node() *netsim.Node { return m.node }
+
+// Home returns the MN's permanent address.
+func (m *Mobile) Home() addr.IP { return m.profile.Home }
+
+// ServingCell returns the current cell, NoCell when detached.
+func (m *Mobile) ServingCell() topology.CellID { return m.servingCell }
+
+// State returns active or idle.
+func (m *Mobile) State() HostState { return m.state }
+
+// Evaluate runs one measurement round at the given position and speed:
+// measure signals, run the decision engine, and start a handoff when the
+// target differs from the serving cell. The scheme driver calls this on
+// its measurement cadence.
+func (m *Mobile) Evaluate(pos geo.Point, speedMPS float64) {
+	signals := m.top.Signals(pos, m.rng)
+	probe := func(cell topology.CellID, handoff bool) bool {
+		st, err := m.dir.StationFor(cell)
+		if err != nil {
+			return false
+		}
+		return st.CanAdmit(m.profile.DemandBPS, handoff)
+	}
+	target := Choose(m.top, m.servingCell, signals, speedMPS, probe, m.pol)
+
+	if target == topology.NoCell {
+		if m.serving != nil && !m.stillCovered(signals) {
+			m.loseCoverage()
+		}
+		return
+	}
+	if target == m.servingCell {
+		return
+	}
+	if m.pending != nil {
+		return // one handoff at a time
+	}
+	m.requestHandoff(target, speedMPS)
+}
+
+// stillCovered reports whether the serving cell remains nominally usable.
+func (m *Mobile) stillCovered(signals []radio.Signal) bool {
+	for _, s := range signals {
+		if topology.CellID(s.Cell) == m.servingCell {
+			return s.InRange && s.RSSIDBm >= m.pol.Selector.MinRSSIDBm
+		}
+	}
+	return false
+}
+
+// loseCoverage models radio loss with no successor cell: the air link
+// breaks silently; the old station's resource switching buffers downlink
+// packets until the MN reappears somewhere.
+func (m *Mobile) loseCoverage() {
+	if m.serving != nil {
+		m.serving.DetachMN(m.profile.Home)
+		m.serving.ReleaseSession(m.profile.Home)
+	}
+	m.serving = nil
+	m.servingCell = topology.NoCell
+	m.stopTickers()
+	if m.OnDetached != nil {
+		m.OnDetached()
+	}
+}
+
+func (m *Mobile) requestHandoff(target topology.CellID, speedMPS float64) {
+	st, err := m.dir.StationFor(target)
+	if err != nil {
+		return
+	}
+	m.seq++
+	req := &HandoffRequest{
+		MN:       m.profile.Home,
+		From:     m.servingCell,
+		To:       target,
+		BPS:      m.profile.DemandBPS,
+		SpeedMPS: speedMPS,
+		Seq:      m.seq,
+	}
+	if a := m.dir.DomainAuth(st.Cell().Domain); a != nil {
+		m.nonce++
+		req.Nonce = m.nonce
+		copy(req.Token[:], a.Token(m.profile.Home, m.nonce))
+	}
+	m.pending = &pendingHandoff{target: target, seq: m.seq, sentAt: m.sched.Now()}
+	m.pending.timeout = m.sched.After(m.cfg.HandoffTimeout, func() {
+		if m.pending != nil && m.pending.seq == req.Seq {
+			m.pending = nil // abandoned; next Evaluate retries
+		}
+	})
+	m.sendControlTo(st, req.Marshal())
+}
+
+// commitHandoff completes an accepted handoff: attach the new air link,
+// send the Update Location Message up the new path, and send the Delete
+// Location Message toward the old station "in the same time" (§3.2).
+func (m *Mobile) commitHandoff(reply *HandoffReply) {
+	p := m.pending
+	m.pending = nil
+	if p.timeout != nil {
+		p.timeout.Cancel()
+	}
+	newSt, err := m.dir.StationFor(p.target)
+	if err != nil {
+		return
+	}
+	oldCell := m.servingCell
+	oldSt := m.serving
+	kind := Classify(m.top, oldCell, p.target)
+
+	// Make-before-break where the old link still exists: the new air
+	// comes up before the old is torn down, so downlink continuity holds
+	// through the crossover re-point.
+	newSt.AttachMN(m.profile.Home, m.node)
+	m.serving = newSt
+	m.servingCell = p.target
+
+	m.seq++
+	up := &UpdateLocation{MN: m.profile.Home, NewCell: p.target, OldCell: oldCell, Seq: m.seq}
+	m.sendControlTo(newSt, up.Marshal())
+
+	if oldCell != topology.NoCell {
+		m.seq++
+		del := &DeleteLocation{MN: m.profile.Home, Cell: oldCell, NewCell: p.target, Seq: m.seq}
+		// The Delete travels via the new station (§3.2 sends both "in the
+		// same time"); the fabric routes it to the old cell even when the
+		// old air link is already gone.
+		m.sendControlTo(newSt, del.Marshal())
+		if oldSt != nil {
+			oldSt.DetachMN(m.profile.Home)
+		}
+	}
+
+	m.state = StateActive
+	m.restartTickers()
+	latency := m.sched.Now() - p.sentAt
+	if m.stats != nil {
+		m.stats.HandoffLatency.Observe(latency)
+		if c, ok := m.stats.HandoffsByKind[kind]; ok {
+			c.Inc()
+		}
+	}
+	if m.OnHandoff != nil {
+		m.OnHandoff(kind, latency)
+	}
+}
+
+func (m *Mobile) sendControlTo(st *Station, payload []byte) {
+	pkt := packet.NewControl(m.profile.Home, st.Node().Addr(), packet.ProtoTier, payload)
+	if m.stats != nil {
+		m.stats.ControlBytes.Add(uint64(pkt.Size()))
+	}
+	_ = m.node.Network().DeliverDirect(m.node, st.Node(), pkt, m.cfg.AirDelay, m.cfg.AirLoss)
+}
+
+func (m *Mobile) restartTickers() {
+	m.stopTickers()
+	if m.serving == nil {
+		return
+	}
+	if m.state == StateActive {
+		m.locTicker = m.sched.Every(m.cfg.LocationInterval, m.sendLocation)
+		m.armIdleTimer()
+	} else {
+		m.locTicker = m.sched.Every(m.cfg.PagingInterval, m.sendLocation)
+	}
+}
+
+func (m *Mobile) stopTickers() {
+	if m.locTicker != nil {
+		m.locTicker.Stop()
+	}
+	if m.idleTimer != nil {
+		m.idleTimer.Cancel()
+	}
+}
+
+func (m *Mobile) armIdleTimer() {
+	if m.idleTimer != nil {
+		m.idleTimer.Cancel()
+	}
+	m.idleTimer = m.sched.After(m.cfg.ActiveTimeout, m.goIdle)
+}
+
+func (m *Mobile) goIdle() {
+	if m.state == StateIdle {
+		return
+	}
+	m.state = StateIdle
+	m.restartTickers()
+}
+
+func (m *Mobile) goActive() {
+	if m.state == StateActive {
+		m.armIdleTimer()
+		return
+	}
+	m.state = StateActive
+	m.sendLocation()
+	m.restartTickers()
+}
+
+// sendLocation emits the periodic Location Message. Idle MNs send the
+// same message at the longer paging interval — that interval difference
+// is exactly the idle-mode signalling saving E8 measures.
+func (m *Mobile) sendLocation() {
+	if m.serving == nil {
+		return
+	}
+	m.seq++
+	loc := &LocationMessage{MN: m.profile.Home, Serving: m.servingCell, Seq: m.seq}
+	m.sendControlTo(m.serving, loc.Marshal())
+}
+
+// SendData emits uplink data through the serving station.
+func (m *Mobile) SendData(pkt *packet.Packet) {
+	if m.serving == nil {
+		m.node.Network().Drop(m.node, pkt, metrics.DropNoRoute)
+		return
+	}
+	m.goActive()
+	_ = m.node.Network().DeliverDirect(m.node, m.serving.Node(), pkt, m.cfg.AirDelay, m.cfg.AirLoss)
+}
+
+// Receive implements netsim.Handler.
+func (m *Mobile) Receive(pkt *packet.Packet, from *netsim.Node, link *netsim.Link) {
+	if pkt.Proto == packet.ProtoTier {
+		msg, err := ParseMessage(pkt.Payload)
+		if err != nil {
+			return
+		}
+		reply, ok := msg.(*HandoffReply)
+		if !ok || m.pending == nil || reply.Seq != m.pending.seq {
+			return
+		}
+		if !reply.Accepted {
+			if m.pending.timeout != nil {
+				m.pending.timeout.Cancel()
+			}
+			m.pending = nil
+			return
+		}
+		m.commitHandoff(reply)
+		return
+	}
+	if m.dedupe.duplicate(pkt.FlowID, pkt.Seq) {
+		return
+	}
+	m.goActive()
+	if m.OnData != nil {
+		m.OnData(pkt)
+	}
+}

@@ -1,0 +1,79 @@
+package multitier
+
+import "repro/internal/metrics"
+
+// Stats aggregates the multi-tier measurements E3–E7 report.
+type Stats struct {
+	// LocationMsgs counts Location Messages processed at stations.
+	LocationMsgs *metrics.Counter
+	// UpdateMsgs counts Update Location Messages processed.
+	UpdateMsgs *metrics.Counter
+	// DeleteMsgs counts Delete Location Messages processed.
+	DeleteMsgs *metrics.Counter
+	// ControlBytes counts multi-tier control bytes emitted.
+	ControlBytes *metrics.Counter
+	// HandoffLatency measures MN-observed request→commit time per
+	// handoff.
+	HandoffLatency *metrics.Histogram
+	// HandoffsByKind counts completed handoffs per kind.
+	HandoffsByKind map[HandoffKind]*metrics.Counter
+	// HandoffRejects counts refused handoff requests.
+	HandoffRejects *metrics.Counter
+	// AuthFailures counts handoffs refused by RSMC authentication.
+	AuthFailures *metrics.Counter
+	// StaleAirDrops counts downlink packets dropped at a station whose
+	// air record was stale (resource switching disabled or buffer full).
+	StaleAirDrops *metrics.Counter
+	// Buffered counts packets parked by resource switching.
+	Buffered *metrics.Counter
+	// Drained counts buffered packets replayed onto the new path.
+	Drained *metrics.Counter
+	// BufferDiscards counts buffered packets discarded on timeout.
+	BufferDiscards *metrics.Counter
+	// Redirects counts packets re-routed via forward records.
+	Redirects *metrics.Counter
+	// Pages counts downlink deliveries that needed a paging flood.
+	Pages *metrics.Counter
+	// PageBroadcasts counts per-link paging flood transmissions.
+	PageBroadcasts *metrics.Counter
+	// AnchorRegistrations counts Mobile IP registrations the root anchor
+	// performed toward Home Agents.
+	AnchorRegistrations *metrics.Counter
+	// AnchorRegLatency measures the anchor's registration round trips.
+	AnchorRegLatency *metrics.Histogram
+	// TableSize samples live records across stations (per sweep).
+	TableSize *metrics.Sample
+}
+
+// NewStats wires stats into a registry under the "tier." prefix. A nil
+// registry gets a private one.
+func NewStats(reg *metrics.Registry) *Stats {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	byKind := make(map[HandoffKind]*metrics.Counter, 6)
+	for _, k := range []HandoffKind{KindInitial, KindIntraMicroMicro, KindIntraMicroMacro,
+		KindIntraMacroMicro, KindInterSameUpper, KindInterDiffUpper} {
+		byKind[k] = reg.Counter("tier.handoffs." + k.String())
+	}
+	return &Stats{
+		LocationMsgs:        reg.Counter("tier.location_msgs"),
+		UpdateMsgs:          reg.Counter("tier.update_msgs"),
+		DeleteMsgs:          reg.Counter("tier.delete_msgs"),
+		ControlBytes:        reg.Counter("tier.control_bytes"),
+		HandoffLatency:      reg.Histogram("tier.handoff.latency"),
+		HandoffsByKind:      byKind,
+		HandoffRejects:      reg.Counter("tier.handoff.rejects"),
+		AuthFailures:        reg.Counter("tier.handoff.auth_failures"),
+		StaleAirDrops:       reg.Counter("tier.stale_air_drops"),
+		Buffered:            reg.Counter("tier.rs.buffered"),
+		Drained:             reg.Counter("tier.rs.drained"),
+		BufferDiscards:      reg.Counter("tier.rs.discards"),
+		Redirects:           reg.Counter("tier.redirects"),
+		Pages:               reg.Counter("tier.pages"),
+		PageBroadcasts:      reg.Counter("tier.page_broadcasts"),
+		AnchorRegistrations: reg.Counter("tier.anchor.registrations"),
+		AnchorRegLatency:    reg.Histogram("tier.anchor.reg_latency"),
+		TableSize:           reg.Sample("tier.table_size"),
+	}
+}

@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// LinkConfig describes one duplex link's characteristics.
+type LinkConfig struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// RateBps is the transmission rate in bits per second; zero means
+	// infinite (no serialization delay).
+	RateBps float64
+	// QueueLimit bounds packets queued per direction awaiting
+	// transmission; zero means unlimited.
+	QueueLimit int
+	// Loss is the independent per-packet loss probability in [0,1].
+	Loss float64
+}
+
+// Link is a duplex point-to-point link. Each direction has its own
+// transmission queue and busy time so cross-traffic does not interfere.
+type Link struct {
+	net  *Network
+	a, b *Node
+	cfg  LinkConfig
+	dirs [2]direction
+	down bool
+}
+
+type direction struct {
+	busyUntil time.Duration
+	queued    int
+}
+
+// Connect joins two nodes with a new duplex link.
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
+	l := &Link{net: n, a: a, b: b, cfg: cfg}
+	n.links = append(n.links, l)
+	a.links = append(a.links, l)
+	b.links = append(b.links, l)
+	return l
+}
+
+// Endpoints returns the two attached nodes.
+func (l *Link) Endpoints() (*Node, *Node) { return l.a, l.b }
+
+// Peer returns the node at the other end from n, or nil when n is not an
+// endpoint.
+func (l *Link) Peer(n *Node) *Node {
+	switch n {
+	case l.a:
+		return l.b
+	case l.b:
+		return l.a
+	default:
+		return nil
+	}
+}
+
+// Config returns the link parameters.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SetLoss changes the link's loss probability (failure injection).
+func (l *Link) SetLoss(p float64) { l.cfg.Loss = p }
+
+// SetDown marks the link failed. Packets already in flight still arrive;
+// new sends fail.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports the failure state.
+func (l *Link) Down() bool { return l.down }
+
+// String implements fmt.Stringer.
+func (l *Link) String() string { return fmt.Sprintf("%s<->%s", l.a, l.b) }
+
+// QueueDepth returns the packets awaiting transmission from n.
+func (l *Link) QueueDepth(n *Node) int {
+	if n == l.a {
+		return l.dirs[0].queued
+	}
+	if n == l.b {
+		return l.dirs[1].queued
+	}
+	return 0
+}
+
+// txDelay returns the serialization time for a packet of the given size.
+func (l *Link) txDelay(size int) time.Duration {
+	if l.cfg.RateBps <= 0 {
+		return 0
+	}
+	seconds := float64(size*8) / l.cfg.RateBps
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Send transmits pkt from node n toward the link peer, modelling queueing,
+// serialization, propagation and random loss. The error reports only local
+// conditions (down node/link, queue overflow is not an error — it is an
+// observed drop, as in a real NIC).
+func (nd *Node) Send(l *Link, pkt *packet.Packet) error {
+	if pkt == nil {
+		return ErrNilPacket
+	}
+	if nd.down {
+		return fmt.Errorf("%w: %s", ErrNodeDown, nd)
+	}
+	if l.down {
+		return fmt.Errorf("%w: %s", ErrLinkDown, l)
+	}
+	var dir *direction
+	switch nd {
+	case l.a:
+		dir = &l.dirs[0]
+	case l.b:
+		dir = &l.dirs[1]
+	default:
+		return fmt.Errorf("%w: %s on %s", ErrNotOnLink, nd, l)
+	}
+	net := nd.net
+	net.observeSend(nd, pkt)
+
+	if l.cfg.QueueLimit > 0 && dir.queued >= l.cfg.QueueLimit {
+		net.observeDrop(nd, pkt, metrics.DropQueueFull)
+		return nil
+	}
+
+	now := net.sched.Now()
+	start := now
+	if dir.busyUntil > start {
+		start = dir.busyUntil
+	}
+	done := start + l.txDelay(pkt.Size())
+	dir.busyUntil = done
+	dir.queued++
+
+	peer := l.Peer(nd)
+	lost := net.rng.Bool(l.cfg.Loss)
+	net.sched.At(done, func() { dir.queued-- })
+	net.sched.At(done+l.cfg.Delay, func() {
+		if lost {
+			net.observeDrop(peer, pkt, metrics.DropLinkLoss)
+			return
+		}
+		net.deliver(peer, pkt, nd, l)
+	})
+	return nil
+}
+
+// SendVia finds the first up link from nd to peer and sends on it.
+func (nd *Node) SendVia(peer *Node, pkt *packet.Packet) error {
+	l := nd.LinkTo(peer)
+	if l == nil {
+		return fmt.Errorf("%w: no up link %s -> %s", ErrLinkDown, nd, peer)
+	}
+	return nd.Send(l, pkt)
+}

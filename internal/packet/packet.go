@@ -1,0 +1,307 @@
+// Package packet models the IP datagrams that flow through the simulated
+// network, including the IP-in-IP encapsulation Mobile IP uses to tunnel
+// packets from a Home Agent to a care-of address.
+//
+// A Packet carries a 20-byte IPv4-like header plus an opaque payload.
+// Control protocols (Mobile IP registration, Cellular IP route updates,
+// multi-tier location messages) marshal their message structs into the
+// payload with encoding/binary, so byte-overhead accounting in experiments
+// reflects real header and message sizes rather than estimates.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// HeaderSize is the wire size of the simulated IP header in bytes,
+// matching a minimal IPv4 header.
+const HeaderSize = 20
+
+// MaxTTL is the initial hop limit for newly created packets.
+const MaxTTL = 64
+
+// Errors returned by Unmarshal and Decapsulate.
+var (
+	ErrTruncated     = errors.New("packet: truncated")
+	ErrNotTunnel     = errors.New("packet: not an encapsulated packet")
+	ErrTTLExceeded   = errors.New("packet: TTL exceeded")
+	ErrNilPacket     = errors.New("packet: nil packet")
+	ErrPayloadTooBig = errors.New("packet: payload exceeds 64 KiB")
+)
+
+// Protocol identifies what the payload contains. Values are local to the
+// simulator and start at one per the style guide.
+type Protocol uint8
+
+// Protocol numbers used by the simulated stack.
+const (
+	ProtoData     Protocol = iota + 1 // application data (voice/video/bulk)
+	ProtoIPinIP                       // Mobile IP tunnel: payload is an inner packet
+	ProtoMobileIP                     // Mobile IP control: registration, advertisement
+	ProtoCellular                     // Cellular IP control: route/paging updates
+	ProtoTier                         // multi-tier control: location & handoff messages
+	ProtoRSMC                         // RSMC control: auth, resource switching
+)
+
+// String implements fmt.Stringer for logs and traces.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoData:
+		return "data"
+	case ProtoIPinIP:
+		return "ip-in-ip"
+	case ProtoMobileIP:
+		return "mobile-ip"
+	case ProtoCellular:
+		return "cellular-ip"
+	case ProtoTier:
+		return "multi-tier"
+	case ProtoRSMC:
+		return "rsmc"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Class is the QoS traffic class of a packet, after the UMTS service
+// classes. Scheduling and admission decisions key off it.
+type Class uint8
+
+// QoS classes in decreasing delay sensitivity.
+const (
+	ClassConversational Class = iota + 1 // voice: strict delay
+	ClassStreaming                       // video: bounded delay, loss tolerant-ish
+	ClassInteractive                     // web-like request/response
+	ClassBackground                      // bulk transfer
+	ClassControl                         // protocol signalling: never dropped by QoS
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassConversational:
+		return "conversational"
+	case ClassStreaming:
+		return "streaming"
+	case ClassInteractive:
+		return "interactive"
+	case ClassBackground:
+		return "background"
+	case ClassControl:
+		return "control"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Packet is one simulated datagram. SentAt is simulation metadata stamped
+// by the traffic source for latency measurement; it is not wire data and
+// does not survive Marshal/Unmarshal.
+type Packet struct {
+	Src, Dst addr.IP
+	TTL      uint8
+	Proto    Protocol
+	Class    Class
+	Flags    uint8
+	FlowID   uint32
+	Seq      uint32
+	Payload  []byte
+
+	// SentAt is the virtual time the original source emitted the packet.
+	SentAt time.Duration
+	// Inner is the encapsulated packet when Proto == ProtoIPinIP.
+	Inner *Packet
+}
+
+// Flag bits.
+const (
+	// FlagBicast marks a semisoft-handoff duplicate delivered along the
+	// new path while the old path is still live.
+	FlagBicast uint8 = 1 << iota
+	// FlagRetransmit marks a protocol retransmission.
+	FlagRetransmit
+)
+
+// New returns a data packet with a full TTL.
+func New(src, dst addr.IP, class Class, flowID, seq uint32, payload []byte) *Packet {
+	return &Packet{
+		Src:     src,
+		Dst:     dst,
+		TTL:     MaxTTL,
+		Proto:   ProtoData,
+		Class:   class,
+		FlowID:  flowID,
+		Seq:     seq,
+		Payload: payload,
+	}
+}
+
+// NewControl returns a control packet of the given protocol whose payload
+// is a marshalled message.
+func NewControl(src, dst addr.IP, proto Protocol, payload []byte) *Packet {
+	return &Packet{
+		Src:     src,
+		Dst:     dst,
+		TTL:     MaxTTL,
+		Proto:   proto,
+		Class:   ClassControl,
+		Payload: payload,
+	}
+}
+
+// Size returns the packet's wire size in bytes, including recursively
+// encapsulated packets.
+func (p *Packet) Size() int {
+	if p == nil {
+		return 0
+	}
+	if p.Proto == ProtoIPinIP && p.Inner != nil {
+		return HeaderSize + p.Inner.Size()
+	}
+	return HeaderSize + len(p.Payload)
+}
+
+// Clone returns a deep copy. Semisoft handoff bicasts clones so the two
+// copies age independently in queues.
+func (p *Packet) Clone() *Packet {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	q.Inner = p.Inner.Clone()
+	return &q
+}
+
+// DecrementTTL ages the packet by one hop, returning ErrTTLExceeded when
+// the TTL hits zero. Routers call this before forwarding.
+func (p *Packet) DecrementTTL() error {
+	if p.TTL == 0 {
+		return ErrTTLExceeded
+	}
+	p.TTL--
+	if p.TTL == 0 {
+		return ErrTTLExceeded
+	}
+	return nil
+}
+
+// String summarises the packet for traces.
+func (p *Packet) String() string {
+	if p == nil {
+		return "<nil packet>"
+	}
+	if p.Proto == ProtoIPinIP && p.Inner != nil {
+		return fmt.Sprintf("%s->%s %s[%s]", p.Src, p.Dst, p.Proto, p.Inner)
+	}
+	return fmt.Sprintf("%s->%s %s flow=%d seq=%d len=%d", p.Src, p.Dst, p.Proto, p.FlowID, p.Seq, p.Size())
+}
+
+// Encapsulate wraps inner in an IP-in-IP tunnel packet from src to dst,
+// as a Home Agent does when forwarding to a care-of address. The inner
+// packet is not copied; tunnel endpoints own the packet for its transit.
+func Encapsulate(src, dst addr.IP, inner *Packet) (*Packet, error) {
+	if inner == nil {
+		return nil, ErrNilPacket
+	}
+	return &Packet{
+		Src:    src,
+		Dst:    dst,
+		TTL:    MaxTTL,
+		Proto:  ProtoIPinIP,
+		Class:  inner.Class, // tunnel inherits the inner QoS class
+		FlowID: inner.FlowID,
+		Seq:    inner.Seq,
+		SentAt: inner.SentAt,
+		Inner:  inner,
+	}, nil
+}
+
+// Decapsulate unwraps a tunnel packet, as a Foreign Agent does before
+// delivering to the mobile node.
+func (p *Packet) Decapsulate() (*Packet, error) {
+	if p == nil {
+		return nil, ErrNilPacket
+	}
+	if p.Proto != ProtoIPinIP {
+		return nil, fmt.Errorf("%w: proto %s", ErrNotTunnel, p.Proto)
+	}
+	if p.Inner != nil {
+		return p.Inner, nil
+	}
+	inner, err := Unmarshal(p.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("tunnel payload: %w", err)
+	}
+	return inner, nil
+}
+
+// Marshal renders the packet to wire bytes: 20-byte header + payload.
+// Encapsulated inner packets are marshalled recursively into the payload.
+func (p *Packet) Marshal() ([]byte, error) {
+	if p == nil {
+		return nil, ErrNilPacket
+	}
+	payload := p.Payload
+	if p.Proto == ProtoIPinIP && p.Inner != nil {
+		b, err := p.Inner.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("inner: %w", err)
+		}
+		payload = b
+	}
+	if len(payload) > 0xFFFF {
+		return nil, ErrPayloadTooBig
+	}
+	buf := make([]byte, HeaderSize+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(p.Src))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(p.Dst))
+	buf[8] = p.TTL
+	buf[9] = uint8(p.Proto)
+	buf[10] = uint8(p.Class)
+	buf[11] = p.Flags
+	binary.BigEndian.PutUint32(buf[12:16], p.FlowID)
+	binary.BigEndian.PutUint32(buf[16:20], p.Seq)
+	copy(buf[HeaderSize:], payload)
+	return buf, nil
+}
+
+// Unmarshal parses wire bytes produced by Marshal. For tunnel packets the
+// inner packet is reconstructed into Inner.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < HeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	p := &Packet{
+		Src:    addr.IP(binary.BigEndian.Uint32(b[0:4])),
+		Dst:    addr.IP(binary.BigEndian.Uint32(b[4:8])),
+		TTL:    b[8],
+		Proto:  Protocol(b[9]),
+		Class:  Class(b[10]),
+		Flags:  b[11],
+		FlowID: binary.BigEndian.Uint32(b[12:16]),
+		Seq:    binary.BigEndian.Uint32(b[16:20]),
+	}
+	rest := b[HeaderSize:]
+	if p.Proto == ProtoIPinIP {
+		inner, err := Unmarshal(rest)
+		if err != nil {
+			return nil, fmt.Errorf("inner: %w", err)
+		}
+		p.Inner = inner
+		return p, nil
+	}
+	if len(rest) > 0 {
+		p.Payload = make([]byte, len(rest))
+		copy(p.Payload, rest)
+	}
+	return p, nil
+}

@@ -1,0 +1,260 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/packet"
+)
+
+func TestChannelPoolGuardSemantics(t *testing.T) {
+	p := NewChannelPool(10, 2)
+	// New sessions can take 8.
+	for i := 0; i < 8; i++ {
+		if err := p.AdmitNew(); err != nil {
+			t.Fatalf("new admit %d: %v", i, err)
+		}
+	}
+	if err := p.AdmitNew(); !errors.Is(err, ErrNoChannels) {
+		t.Fatalf("9th new admit: %v, want ErrNoChannels", err)
+	}
+	if p.Blocked != 1 {
+		t.Fatalf("Blocked = %d", p.Blocked)
+	}
+	// Handoffs can take the guard channels.
+	if err := p.AdmitHandoff(); err != nil {
+		t.Fatalf("handoff into guard: %v", err)
+	}
+	if err := p.AdmitHandoff(); err != nil {
+		t.Fatalf("handoff into guard 2: %v", err)
+	}
+	if err := p.AdmitHandoff(); !errors.Is(err, ErrNoChannels) {
+		t.Fatalf("handoff past capacity: %v", err)
+	}
+	if p.Dropped != 1 {
+		t.Fatalf("Dropped = %d", p.Dropped)
+	}
+	if p.InUse() != 10 || p.Free() != 0 || p.Utilization() != 1 {
+		t.Fatalf("pool state: %d in use, %d free", p.InUse(), p.Free())
+	}
+}
+
+func TestChannelPoolRelease(t *testing.T) {
+	p := NewChannelPool(2, 0)
+	if err := p.Release(); !errors.Is(err, ErrNotGranted) {
+		t.Fatalf("release on empty: %v", err)
+	}
+	if err := p.AdmitNew(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if p.InUse() != 0 {
+		t.Fatal("release did not free channel")
+	}
+}
+
+func TestChannelPoolClamping(t *testing.T) {
+	p := NewChannelPool(-5, 10)
+	if p.Total() != 0 {
+		t.Fatalf("negative total: %d", p.Total())
+	}
+	if p.Utilization() != 1 {
+		t.Fatal("zero-channel pool should read fully utilised")
+	}
+	p2 := NewChannelPool(4, 10) // guard clamps to total
+	for i := 0; i < 4; i++ {
+		if err := p2.AdmitHandoff(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p2.AdmitNew(); !errors.Is(err, ErrNoChannels) {
+		t.Fatal("all-guard pool admitted a new session")
+	}
+}
+
+func TestBandwidthPool(t *testing.T) {
+	b := NewBandwidthPool(1000)
+	if err := b.Reserve(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve(500); !errors.Is(err, ErrNoBandwidth) {
+		t.Fatalf("over-reserve: %v", err)
+	}
+	if err := b.Reserve(400); err != nil {
+		t.Fatal(err)
+	}
+	if b.Available() != 0 || b.Used() != 1000 {
+		t.Fatalf("state: used=%v avail=%v", b.Used(), b.Available())
+	}
+	if err := b.Release(2000); !errors.Is(err, ErrNotGranted) {
+		t.Fatalf("over-release: %v", err)
+	}
+	if err := b.Release(1000); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 0 {
+		t.Fatal("release did not return bandwidth")
+	}
+	// Negative inputs clamp.
+	if err := b.Reserve(-10); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 0 {
+		t.Fatal("negative reserve changed usage")
+	}
+}
+
+func TestAdmitAtomicRollback(t *testing.T) {
+	c := NewCellResources(10, 0, 100)
+	// Channel fits but bandwidth does not: channel must be rolled back.
+	_, err := c.Admit(Request{BPS: 500})
+	if !errors.Is(err, ErrNoBandwidth) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Channels.InUse() != 0 {
+		t.Fatal("failed admit leaked a channel")
+	}
+}
+
+func TestSessionRelease(t *testing.T) {
+	c := NewCellResources(2, 0, 1000)
+	s, err := c.Admit(Request{BPS: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BPS() != 400 {
+		t.Fatalf("BPS = %v", s.BPS())
+	}
+	if err := s.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Channels.InUse() != 0 || c.Bandwidth.Used() != 0 {
+		t.Fatal("release incomplete")
+	}
+	if err := s.Release(); !errors.Is(err, ErrNotGranted) {
+		t.Fatalf("double release: %v", err)
+	}
+	var nilSession *Session
+	if err := nilSession.Release(); !errors.Is(err, ErrNotGranted) {
+		t.Fatalf("nil release: %v", err)
+	}
+}
+
+func TestCanAdmitMatchesAdmit(t *testing.T) {
+	c := NewCellResources(3, 1, 1000)
+	reqs := []Request{
+		{BPS: 400}, {BPS: 400}, {BPS: 400, Handoff: true}, {BPS: 100, Handoff: true},
+	}
+	for i, req := range reqs {
+		can := c.CanAdmit(req)
+		s, err := c.Admit(req)
+		if can != (err == nil) {
+			t.Fatalf("req %d: CanAdmit=%v but Admit err=%v", i, can, err)
+		}
+		_ = s
+	}
+}
+
+// Property: CanAdmit never disagrees with Admit, under arbitrary
+// interleavings of admits and releases.
+func TestCanAdmitConsistencyProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		c := NewCellResources(5, 2, 2000)
+		var sessions []*Session
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // admit new / handoff
+				req := Request{BPS: float64(op%7) * 100, Handoff: op%4 == 1}
+				can := c.CanAdmit(req)
+				s, err := c.Admit(req)
+				if can != (err == nil) {
+					return false
+				}
+				if s != nil {
+					sessions = append(sessions, s)
+				}
+			case 2: // release oldest
+				if len(sessions) > 0 {
+					if err := sessions[0].Release(); err != nil {
+						return false
+					}
+					sessions = sessions[1:]
+				}
+			case 3: // invariants
+				if c.Channels.InUse() != len(sessions) {
+					return false
+				}
+				if c.Bandwidth.Used() < 0 || c.Bandwidth.Used() > c.Bandwidth.Capacity() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkPkt(seq uint32) *packet.Packet {
+	return packet.New(addr.MustParse("10.0.0.1"), addr.MustParse("10.0.0.2"),
+		packet.ClassStreaming, 1, seq, []byte("x"))
+}
+
+func TestSwitchBufferFIFOAndDrain(t *testing.T) {
+	b := NewSwitchBuffer(10)
+	for i := uint32(0); i < 5; i++ {
+		if !b.Buffer(mkPkt(i)) {
+			t.Fatalf("buffer %d refused", i)
+		}
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	var got []uint32
+	n := b.Drain(func(p *packet.Packet) { got = append(got, p.Seq) })
+	if n != 5 || b.Len() != 0 {
+		t.Fatalf("drained %d, remaining %d", n, b.Len())
+	}
+	for i, s := range got {
+		if s != uint32(i) {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestSwitchBufferOverflow(t *testing.T) {
+	b := NewSwitchBuffer(2)
+	if !b.Buffer(mkPkt(0)) || !b.Buffer(mkPkt(1)) {
+		t.Fatal("initial buffering refused")
+	}
+	if b.Buffer(mkPkt(2)) {
+		t.Fatal("overflow accepted")
+	}
+	if b.Overflow != 1 {
+		t.Fatalf("Overflow = %d", b.Overflow)
+	}
+	if n := b.Discard(); n != 2 || b.Len() != 0 {
+		t.Fatalf("Discard = %d, Len = %d", n, b.Len())
+	}
+	// After discard there is room again.
+	if !b.Buffer(mkPkt(3)) {
+		t.Fatal("post-discard buffering refused")
+	}
+}
+
+func TestSwitchBufferUnbounded(t *testing.T) {
+	b := NewSwitchBuffer(0)
+	for i := uint32(0); i < 1000; i++ {
+		if !b.Buffer(mkPkt(i)) {
+			t.Fatal("unbounded buffer refused")
+		}
+	}
+	if b.Len() != 1000 || b.Overflow != 0 {
+		t.Fatalf("Len=%d Overflow=%d", b.Len(), b.Overflow)
+	}
+}

@@ -1,0 +1,168 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced diverging streams")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform(3,7) = %v out of range", v)
+		}
+	}
+}
+
+func TestUniformDuration(t *testing.T) {
+	r := NewRand(1)
+	lo, hi := 10*time.Millisecond, 20*time.Millisecond
+	for i := 0; i < 10000; i++ {
+		v := r.UniformDuration(lo, hi)
+		if v < lo || v >= hi {
+			t.Fatalf("UniformDuration out of range: %v", v)
+		}
+	}
+	if got := r.UniformDuration(hi, lo); got != hi {
+		t.Fatalf("degenerate range should return lo, got %v", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRand(7)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exponential(5)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("exponential mean %v, want ~5", mean)
+	}
+}
+
+func TestExponentialDurationMean(t *testing.T) {
+	r := NewRand(7)
+	const n = 100000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += r.ExponentialDuration(time.Second)
+	}
+	mean := sum / n
+	if mean < 950*time.Millisecond || mean > 1050*time.Millisecond {
+		t.Fatalf("exponential duration mean %v, want ~1s", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("normal mean %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("normal stddev %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if r.Bool(-0.5) {
+			t.Fatal("Bool(<0) returned true")
+		}
+		if !r.Bool(1.5) {
+			t.Fatal("Bool(>1) returned false")
+		}
+	}
+	// Empirical probability.
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v", p)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRand(5)
+	f1 := r.Fork()
+	// Draw extra from the parent; the fork must be unaffected because it
+	// carries its own source seeded once at Fork time.
+	r2 := NewRand(5)
+	f2 := r2.Fork()
+	for i := 0; i < 100; i++ {
+		r2.Float64()
+	}
+	for i := 0; i < 100; i++ {
+		if f1.Float64() != f2.Float64() {
+			t.Fatal("fork stream depends on later parent draws")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRand(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRand(13)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}

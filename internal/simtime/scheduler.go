@@ -1,0 +1,189 @@
+// Package simtime provides the virtual clock and discrete-event scheduler
+// that every simulated subsystem runs on.
+//
+// Virtual time is a time.Duration measured from the start of the scenario.
+// The scheduler is deterministic: events fire in non-decreasing time order,
+// and events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-break by sequence number). Re-running a scenario with
+// the same seed therefore reproduces identical behaviour.
+package simtime
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the scheduler was stopped
+// explicitly before the event queue drained.
+var ErrStopped = errors.New("simtime: scheduler stopped")
+
+// Event is a unit of scheduled work. Events are created through
+// Scheduler.At / Scheduler.After and may be cancelled until they fire.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once fired or cancelled
+	canceled bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && !e.canceled && e.index >= 0 }
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a deterministic discrete-event executor. The zero value is
+// ready to use. Scheduler is not safe for concurrent use; the simulation
+// core is intentionally single-threaded (see DESIGN.md §4).
+type Scheduler struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler with virtual time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Len returns the number of pending events (including cancelled events that
+// have not yet been discarded by the run loop).
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// clamps to the current time (the event fires next, after already-queued
+// events for the same instant).
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time. Negative d
+// clamps to zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes the current Run / RunUntil call return ErrStopped after the
+// in-flight event completes. Pending events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Step fires the single earliest pending event, advancing virtual time to
+// its timestamp. It reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// ErrStopped in the latter case, nil otherwise.
+func (s *Scheduler) Run() error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.Step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to exactly deadline. Events scheduled beyond the deadline remain
+// queued. It returns ErrStopped if Stop was called.
+func (s *Scheduler) RunUntil(deadline time.Duration) error {
+	s.stopped = false
+	for !s.stopped {
+		ev := s.peek()
+		if ev == nil || ev.at > deadline {
+			if s.now < deadline {
+				s.now = deadline
+			}
+			return nil
+		}
+		s.Step()
+	}
+	return ErrStopped
+}
+
+// peek returns the earliest non-cancelled event without firing it, discarding
+// cancelled heap heads along the way.
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerFiresInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []time.Duration
+	for _, d := range []time.Duration{30, 10, 20, 10, 5} {
+		d := d
+		s.At(d*time.Millisecond, func() { got = append(got, s.Now()) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []time.Duration{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i]*time.Millisecond)
+		}
+	}
+}
+
+func TestSchedulerFIFOTieBreak(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerPastClampsToNow(t *testing.T) {
+	s := NewScheduler()
+	var fired bool
+	s.At(10*time.Millisecond, func() {
+		s.At(time.Millisecond, func() { fired = true }) // in the past
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("past-scheduled event never fired")
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("clock went backwards: now=%v", s.Now())
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	var fired bool
+	ev := s.At(time.Second, func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending before run")
+	}
+	if !ev.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSchedulerCancelNil(t *testing.T) {
+	var ev *Event
+	if ev.Cancel() {
+		t.Fatal("nil event Cancel should report false")
+	}
+	if ev.Pending() {
+		t.Fatal("nil event should not be pending")
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() { count++ })
+	}
+	if err := s.RunUntil(5 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("fired %d events by 5s, want 5", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock at %v after RunUntil(5s)", s.Now())
+	}
+	if s.Len() != 5 {
+		t.Fatalf("%d events left, want 5", s.Len())
+	}
+	// Continue to drain.
+	if err := s.RunUntil(time.Hour); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("fired %d events total, want 10", count)
+	}
+}
+
+func TestSchedulerRunUntilAdvancesEmptyClock(t *testing.T) {
+	s := NewScheduler()
+	if err := s.RunUntil(3 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("empty RunUntil left clock at %v", s.Now())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("Run returned %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("fired %d events, want 3", count)
+	}
+	// A fresh Run resumes.
+	if err := s.Run(); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("fired %d events after resume, want 10", count)
+	}
+}
+
+func TestSchedulerAfterNegativeClamps(t *testing.T) {
+	s := NewScheduler()
+	var at time.Duration = -1
+	s.At(time.Second, func() {
+		s.After(-5*time.Second, func() { at = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != time.Second {
+		t.Fatalf("negative After fired at %v, want 1s", at)
+	}
+}
+
+func TestSchedulerFiredCount(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	ev := s.After(time.Hour, func() {})
+	ev.Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Fired() != 7 {
+		t.Fatalf("Fired=%d, want 7 (cancelled events must not count)", s.Fired())
+	}
+}
+
+func TestSchedulerStepOnEmpty(t *testing.T) {
+	s := NewScheduler()
+	if s.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+// Property: however events are scheduled, they fire in non-decreasing
+// time order.
+func TestSchedulerOrderProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		s := NewScheduler()
+		var last time.Duration = -1
+		ok := true
+		for _, off := range offsets {
+			s.At(time.Duration(off)*time.Microsecond, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested scheduling from inside handlers preserves order too.
+func TestSchedulerNestedOrderProperty(t *testing.T) {
+	prop := func(offsets []uint8) bool {
+		s := NewScheduler()
+		var last time.Duration = -1
+		ok := true
+		check := func() {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+		}
+		s.At(0, func() {
+			for _, off := range offsets {
+				s.After(time.Duration(off)*time.Microsecond, check)
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

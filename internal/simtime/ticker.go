@@ -1,0 +1,88 @@
+package simtime
+
+import "time"
+
+// Ticker fires a callback at a fixed virtual-time interval until stopped.
+// It is the building block for periodic protocol behaviour: route-update
+// packets, Location Messages, agent advertisements and cache sweeps.
+type Ticker struct {
+	sched    *Scheduler
+	interval time.Duration
+	fn       func()
+	next     *Event
+	stopped  bool
+	ticks    uint64
+}
+
+// Every schedules fn to run every interval, with the first firing one full
+// interval from now. Interval must be positive; a non-positive interval
+// returns a stopped ticker that never fires, so that callers can treat
+// "feature disabled" configurations uniformly.
+func (s *Scheduler) Every(interval time.Duration, fn func()) *Ticker {
+	t := &Ticker{sched: s, interval: interval, fn: fn}
+	if interval <= 0 {
+		t.stopped = true
+		return t
+	}
+	t.arm()
+	return t
+}
+
+// EveryNow behaves like Every but also fires once immediately (at the
+// current virtual instant) before settling into the periodic cadence.
+func (s *Scheduler) EveryNow(interval time.Duration, fn func()) *Ticker {
+	t := &Ticker{sched: s, interval: interval, fn: fn}
+	if interval <= 0 {
+		t.stopped = true
+		return t
+	}
+	t.next = s.After(0, t.tick)
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.next = t.sched.After(t.interval, t.tick)
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.ticks++
+	t.fn()
+	if !t.stopped { // fn may have called Stop
+		t.arm()
+	}
+}
+
+// Stop cancels future firings. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}
+
+// Stopped reports whether the ticker has been stopped.
+func (t *Ticker) Stopped() bool { return t.stopped }
+
+// Ticks returns how many times the ticker has fired.
+func (t *Ticker) Ticks() uint64 { return t.ticks }
+
+// Reset restarts the ticker with a new interval, cancelling the pending
+// firing. A non-positive interval stops the ticker.
+func (t *Ticker) Reset(interval time.Duration) {
+	if t.next != nil {
+		t.next.Cancel()
+	}
+	if interval <= 0 {
+		t.stopped = true
+		return
+	}
+	t.interval = interval
+	t.stopped = false
+	t.arm()
+}

@@ -1,0 +1,431 @@
+// Package topology builds the multi-tier cell layout of the paper's
+// Figure 3.1: upper-layer macro base stations (like R3) parent domain
+// macro cells (R1, R2), which parent micro cells (A–F, optionally chained
+// one below another), which parent pico cells. A *domain* is the subtree
+// of one domain-level macro cell — the unit the paper's inter-domain
+// handoff is defined over.
+//
+// The package is pure structure and geometry: which cells exist, where
+// they are, who parents whom, and what address space each owns. Wiring
+// cells to simulated network nodes is the scenario engine's job.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// Tier is the cell layer, ordered smallest to largest coverage.
+type Tier int
+
+// Tiers of the hierarchy. Root is the upper layer of the macro-tier (the
+// paper's "most upper layer BS", R3 in Fig 3.2/3.3).
+const (
+	TierPico Tier = iota + 1
+	TierMicro
+	TierMacro
+	TierRoot
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierPico:
+		return "pico"
+	case TierMicro:
+		return "micro"
+	case TierMacro:
+		return "macro"
+	case TierRoot:
+		return "root"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// CellID indexes a cell within its topology.
+type CellID int
+
+// NoCell marks "no cell" (no parent, no coverage).
+const NoCell CellID = -1
+
+// Cell is one base station's coverage area and place in the hierarchy.
+type Cell struct {
+	ID       CellID
+	Tier     Tier
+	Pos      geo.Point
+	Radio    radio.Params
+	Parent   CellID
+	Children []CellID
+	// Domain is the domain-macro subtree this cell belongs to; NoDomain
+	// for root cells, which sit above domains.
+	Domain int
+	// Prefix is the address space owned by this cell's base station.
+	Prefix addr.Prefix
+	// Name is a human-readable label like "macro-0.1" for traces.
+	Name string
+}
+
+// NoDomain marks cells above the domain level.
+const NoDomain = -1
+
+// Coverage returns the cell's nominal coverage circle.
+func (c *Cell) Coverage() geo.Circle {
+	return geo.Circle{Center: c.Pos, Radius: c.Radio.MaxRange}
+}
+
+// Domain groups the cells of one domain-macro subtree.
+type Domain struct {
+	ID    int
+	Root  CellID // the domain-level macro cell
+	Cells []CellID
+}
+
+// Config parameterises Build. The zero value is invalid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Roots is the number of upper-layer macro base stations.
+	Roots int
+	// MacrosPerRoot is the number of domain macro cells under each root.
+	MacrosPerRoot int
+	// MicrosPerMacro is the number of micro cells per domain.
+	MicrosPerMacro int
+	// ChainMicros makes every second micro cell a child of the previous
+	// micro instead of the macro, reproducing Fig 3.1's A→B,C chains
+	// ("micro-cells … distinguished on more than one levels").
+	ChainMicros bool
+	// PicosPerMicro is the number of pico cells per micro cell.
+	PicosPerMicro int
+	// BasePrefix is the address space carved among domains and cells.
+	// Must be /8 or wider.
+	BasePrefix addr.Prefix
+	// RootRadio, MacroRadio, MicroRadio, PicoRadio override the
+	// per-tier radio parameters; zero values take the radio package
+	// presets (with the root preset being a boosted macro).
+	RootRadio, MacroRadio, MicroRadio, PicoRadio radio.Params
+}
+
+// DefaultConfig is a two-root, two-domain-per-root layout exercising every
+// handoff class: micro↔micro, micro↔macro, inter-domain same-root and
+// inter-domain different-root.
+func DefaultConfig() Config {
+	return Config{
+		Roots:          2,
+		MacrosPerRoot:  2,
+		MicrosPerMacro: 3,
+		ChainMicros:    true,
+		PicosPerMicro:  1,
+		BasePrefix:     addr.MustParsePrefix("10.0.0.0/8"),
+	}
+}
+
+// RootParams is the radio preset for upper-layer macro base stations: a
+// boosted macro covering the whole cluster of domains beneath it.
+func RootParams() radio.Params {
+	p := radio.MacroParams()
+	p.TxPowerDBm += 3
+	p.MaxRange = 12000
+	p.Exponent = 2.6
+	p.AirDelay = 12 * time.Millisecond
+	return p
+}
+
+// Errors returned by Build.
+var (
+	ErrBadConfig = errors.New("topology: invalid config")
+)
+
+// Topology is the built cell structure.
+type Topology struct {
+	Cells   []*Cell
+	Domains []Domain
+	Arena   geo.Rect
+	cfg     Config
+}
+
+// Build constructs the hierarchy, placing roots in a row, domain macros in
+// a ring inside each root, micros in a ring inside each macro (chained
+// micros adjacent to their parent micro), and picos inside micros.
+func Build(cfg Config) (*Topology, error) {
+	if cfg.Roots < 1 || cfg.MacrosPerRoot < 1 || cfg.MicrosPerMacro < 0 || cfg.PicosPerMicro < 0 {
+		return nil, fmt.Errorf("%w: counts must be positive (roots=%d macros=%d)", ErrBadConfig, cfg.Roots, cfg.MacrosPerRoot)
+	}
+	if cfg.BasePrefix.Bits > 8 {
+		return nil, fmt.Errorf("%w: base prefix %s narrower than /8", ErrBadConfig, cfg.BasePrefix)
+	}
+	rootRadio := cfg.RootRadio
+	if rootRadio.MaxRange == 0 {
+		rootRadio = RootParams()
+	}
+	macroRadio := cfg.MacroRadio
+	if macroRadio.MaxRange == 0 {
+		macroRadio = radio.MacroParams()
+	}
+	microRadio := cfg.MicroRadio
+	if microRadio.MaxRange == 0 {
+		microRadio = radio.MicroParams()
+	}
+	picoRadio := cfg.PicoRadio
+	if picoRadio.MaxRange == 0 {
+		picoRadio = radio.PicoParams()
+	}
+
+	t := &Topology{cfg: cfg}
+	domainID := 0
+
+	// Roots sit in a row, overlapping slightly so inter-root handoff is
+	// geometrically possible.
+	rootGap := rootRadio.MaxRange * 1.5
+	for r := 0; r < cfg.Roots; r++ {
+		rootPos := geo.Pt(rootRadio.MaxRange+float64(r)*rootGap, rootRadio.MaxRange)
+		root := t.addCell(TierRoot, rootPos, rootRadio, NoCell, NoDomain, fmt.Sprintf("root-%d", r))
+
+		// Domain macros in a ring around the root centre. With a single
+		// macro it sits at the centre.
+		for m := 0; m < cfg.MacrosPerRoot; m++ {
+			macroPos := rootPos
+			if cfg.MacrosPerRoot > 1 {
+				ang := 2 * math.Pi * float64(m) / float64(cfg.MacrosPerRoot)
+				ringR := macroRadio.MaxRange * 0.9
+				macroPos = rootPos.Add(geo.FromHeading(ang, ringR))
+			}
+			macro := t.addCell(TierMacro, macroPos, macroRadio, root.ID, domainID,
+				fmt.Sprintf("macro-%d.%d", r, m))
+			dom := Domain{ID: domainID, Root: macro.ID}
+			dom.Cells = append(dom.Cells, macro.ID)
+
+			// Micros in a ring inside the macro. When chaining, odd
+			// micros hang off the preceding even micro.
+			var prevMicro *Cell
+			for mi := 0; mi < cfg.MicrosPerMacro; mi++ {
+				parent := macro
+				chained := cfg.ChainMicros && mi%2 == 1 && prevMicro != nil
+				var microPos geo.Point
+				if chained {
+					parent = prevMicro
+					// Adjacent to the parent micro, overlapping it.
+					microPos = prevMicro.Pos.Add(geo.Vec(microRadio.MaxRange*1.2, 0))
+				} else {
+					ang := 2 * math.Pi * float64(mi) / float64(maxInt(cfg.MicrosPerMacro, 1))
+					ringR := macroRadio.MaxRange * 0.45
+					microPos = macroPos.Add(geo.FromHeading(ang, ringR))
+				}
+				micro := t.addCell(TierMicro, microPos, microRadio, parent.ID, domainID,
+					fmt.Sprintf("micro-%d.%d.%d", r, m, mi))
+				dom.Cells = append(dom.Cells, micro.ID)
+				if !chained {
+					prevMicro = micro
+				}
+
+				for pi := 0; pi < cfg.PicosPerMicro; pi++ {
+					ang := 2 * math.Pi * float64(pi) / float64(maxInt(cfg.PicosPerMicro, 1))
+					picoPos := microPos.Add(geo.FromHeading(ang, microRadio.MaxRange*0.4))
+					pico := t.addCell(TierPico, picoPos, picoRadio, micro.ID, domainID,
+						fmt.Sprintf("pico-%d.%d.%d.%d", r, m, mi, pi))
+					dom.Cells = append(dom.Cells, pico.ID)
+				}
+			}
+			t.Domains = append(t.Domains, dom)
+			domainID++
+		}
+	}
+
+	if err := t.assignPrefixes(); err != nil {
+		return nil, err
+	}
+	t.computeArena()
+	return t, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (t *Topology) addCell(tier Tier, pos geo.Point, rp radio.Params, parent CellID, domain int, name string) *Cell {
+	c := &Cell{
+		ID:     CellID(len(t.Cells)),
+		Tier:   tier,
+		Pos:    pos,
+		Radio:  rp,
+		Parent: parent,
+		Domain: domain,
+		Name:   name,
+	}
+	t.Cells = append(t.Cells, c)
+	if parent != NoCell {
+		p := t.Cells[parent]
+		p.Children = append(p.Children, c.ID)
+	}
+	return c
+}
+
+// assignPrefixes gives each domain a /16 of the base prefix and each cell
+// a /24 inside its domain; root cells take /16s after the domains.
+func (t *Topology) assignPrefixes() error {
+	next16 := 0
+	for di := range t.Domains {
+		dom := &t.Domains[di]
+		domPrefix, err := t.cfg.BasePrefix.Subnet(16, next16)
+		next16++
+		if err != nil {
+			return fmt.Errorf("domain %d prefix: %w", dom.ID, err)
+		}
+		for i, cid := range dom.Cells {
+			p, err := domPrefix.Subnet(24, i)
+			if err != nil {
+				return fmt.Errorf("cell %d prefix: %w", cid, err)
+			}
+			t.Cells[cid].Prefix = p
+		}
+	}
+	for _, c := range t.Cells {
+		if c.Tier != TierRoot {
+			continue
+		}
+		p, err := t.cfg.BasePrefix.Subnet(16, next16)
+		next16++
+		if err != nil {
+			return fmt.Errorf("root %d prefix: %w", c.ID, err)
+		}
+		c.Prefix = p
+	}
+	return nil
+}
+
+func (t *Topology) computeArena() {
+	minP := geo.Pt(math.Inf(1), math.Inf(1))
+	maxP := geo.Pt(math.Inf(-1), math.Inf(-1))
+	for _, c := range t.Cells {
+		r := c.Radio.MaxRange
+		minP.X = math.Min(minP.X, c.Pos.X-r)
+		minP.Y = math.Min(minP.Y, c.Pos.Y-r)
+		maxP.X = math.Max(maxP.X, c.Pos.X+r)
+		maxP.Y = math.Max(maxP.Y, c.Pos.Y+r)
+	}
+	t.Arena = geo.Rect{Min: minP, Max: maxP}
+}
+
+// Cell returns the cell by id, or nil when out of range.
+func (t *Topology) Cell(id CellID) *Cell {
+	if id < 0 || int(id) >= len(t.Cells) {
+		return nil
+	}
+	return t.Cells[id]
+}
+
+// CellsOfTier returns all cells of one tier in id order.
+func (t *Topology) CellsOfTier(tier Tier) []*Cell {
+	var out []*Cell
+	for _, c := range t.Cells {
+		if c.Tier == tier {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Covering returns the ids of cells whose nominal coverage contains p,
+// in id order.
+func (t *Topology) Covering(p geo.Point) []CellID {
+	var out []CellID
+	for _, c := range t.Cells {
+		if c.Coverage().Contains(p) {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// Signals measures every cell's signal at p (nil rng = deterministic
+// mean). The radio.Signal Cell field carries the CellID.
+func (t *Topology) Signals(p geo.Point, rng *simtime.Rand) []radio.Signal {
+	out := make([]radio.Signal, 0, len(t.Cells))
+	for _, c := range t.Cells {
+		out = append(out, radio.MeasureAt(int(c.ID), c.Radio, c.Pos, p, rng))
+	}
+	return out
+}
+
+// PathToRoot returns the cell ids from c up to its top-level ancestor,
+// inclusive of both.
+func (t *Topology) PathToRoot(c CellID) []CellID {
+	var out []CellID
+	for c != NoCell {
+		out = append(out, c)
+		c = t.Cells[c].Parent
+	}
+	return out
+}
+
+// Crossover returns the lowest common ancestor of a and b — the paper's
+// "crossover base station" where old and new handoff paths merge — or
+// NoCell when they share no ancestor (different roots).
+func (t *Topology) Crossover(a, b CellID) CellID {
+	onPath := make(map[CellID]bool)
+	for _, c := range t.PathToRoot(a) {
+		onPath[c] = true
+	}
+	for _, c := range t.PathToRoot(b) {
+		if onPath[c] {
+			return c
+		}
+	}
+	return NoCell
+}
+
+// HopsToCrossover returns how many parent-hops up from `from` the
+// crossover with `to` sits, or -1 when there is none. Handoff latency in
+// Cellular IP scales with this depth.
+func (t *Topology) HopsToCrossover(from, to CellID) int {
+	x := t.Crossover(from, to)
+	if x == NoCell {
+		return -1
+	}
+	hops := 0
+	for c := from; c != x; c = t.Cells[c].Parent {
+		hops++
+	}
+	return hops
+}
+
+// SameDomain reports whether two cells belong to the same domain.
+func (t *Topology) SameDomain(a, b CellID) bool {
+	da, db := t.Cells[a].Domain, t.Cells[b].Domain
+	return da != NoDomain && da == db
+}
+
+// DomainRoot returns the domain-macro cell id of c, or NoCell for cells
+// above the domain level.
+func (t *Topology) DomainRoot(c CellID) CellID {
+	d := t.Cells[c].Domain
+	if d == NoDomain {
+		return NoCell
+	}
+	return t.Domains[d].Root
+}
+
+// RootOf returns the top-level ancestor (upper-layer macro BS) of c.
+func (t *Topology) RootOf(c CellID) CellID {
+	path := t.PathToRoot(c)
+	return path[len(path)-1]
+}
+
+// SameUpperBS reports whether two cells hang beneath the same upper-layer
+// macro base station — the distinction between the paper's two
+// inter-domain handoff procedures (Fig 3.2 vs Fig 3.3).
+func (t *Topology) SameUpperBS(a, b CellID) bool {
+	return t.RootOf(a) == t.RootOf(b)
+}
+
+// TierOf returns the tier of c.
+func (t *Topology) TierOf(c CellID) Tier { return t.Cells[c].Tier }

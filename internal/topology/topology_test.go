@@ -1,0 +1,354 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/geo"
+	"repro/internal/simtime"
+)
+
+func build(t *testing.T, cfg Config) *Topology {
+	t.Helper()
+	top, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestBuildDefaultShape(t *testing.T) {
+	top := build(t, DefaultConfig())
+	// 2 roots, 2 macros each, 3 micros per macro, 1 pico per micro.
+	wantRoots, wantMacros := 2, 4
+	wantMicros := 12
+	wantPicos := 12
+	if got := len(top.CellsOfTier(TierRoot)); got != wantRoots {
+		t.Fatalf("roots = %d, want %d", got, wantRoots)
+	}
+	if got := len(top.CellsOfTier(TierMacro)); got != wantMacros {
+		t.Fatalf("macros = %d, want %d", got, wantMacros)
+	}
+	if got := len(top.CellsOfTier(TierMicro)); got != wantMicros {
+		t.Fatalf("micros = %d, want %d", got, wantMicros)
+	}
+	if got := len(top.CellsOfTier(TierPico)); got != wantPicos {
+		t.Fatalf("picos = %d, want %d", got, wantPicos)
+	}
+	if len(top.Domains) != 4 {
+		t.Fatalf("domains = %d, want 4", len(top.Domains))
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	cases := []Config{
+		{Roots: 0, MacrosPerRoot: 1, BasePrefix: addr.MustParsePrefix("10.0.0.0/8")},
+		{Roots: 1, MacrosPerRoot: 0, BasePrefix: addr.MustParsePrefix("10.0.0.0/8")},
+		{Roots: 1, MacrosPerRoot: 1, MicrosPerMacro: -1, BasePrefix: addr.MustParsePrefix("10.0.0.0/8")},
+		{Roots: 1, MacrosPerRoot: 1, BasePrefix: addr.MustParsePrefix("10.1.0.0/16")},
+	}
+	for i, cfg := range cases {
+		if _, err := Build(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestHierarchyParentage(t *testing.T) {
+	top := build(t, DefaultConfig())
+	for _, c := range top.Cells {
+		switch c.Tier {
+		case TierRoot:
+			if c.Parent != NoCell {
+				t.Fatalf("root %s has parent", c.Name)
+			}
+			if c.Domain != NoDomain {
+				t.Fatalf("root %s in a domain", c.Name)
+			}
+		case TierMacro:
+			if top.TierOf(c.Parent) != TierRoot {
+				t.Fatalf("macro %s parent tier = %v", c.Name, top.TierOf(c.Parent))
+			}
+		case TierMicro:
+			pt := top.TierOf(c.Parent)
+			if pt != TierMacro && pt != TierMicro {
+				t.Fatalf("micro %s parent tier = %v", c.Name, pt)
+			}
+			if pt == TierMicro && !top.SameDomain(c.ID, c.Parent) {
+				t.Fatalf("chained micro %s crosses domains", c.Name)
+			}
+		case TierPico:
+			if top.TierOf(c.Parent) != TierMicro {
+				t.Fatalf("pico %s parent tier = %v", c.Name, top.TierOf(c.Parent))
+			}
+		}
+		// Children lists are consistent with Parent pointers.
+		for _, ch := range c.Children {
+			if top.Cell(ch).Parent != c.ID {
+				t.Fatalf("child link mismatch at %s", c.Name)
+			}
+		}
+	}
+}
+
+func TestChainedMicrosExist(t *testing.T) {
+	top := build(t, DefaultConfig())
+	chained := 0
+	for _, c := range top.CellsOfTier(TierMicro) {
+		if top.TierOf(c.Parent) == TierMicro {
+			chained++
+		}
+	}
+	if chained == 0 {
+		t.Fatal("ChainMicros produced no micro->micro parentage")
+	}
+	// Without chaining, all micros hang off macros.
+	cfg := DefaultConfig()
+	cfg.ChainMicros = false
+	flat := build(t, cfg)
+	for _, c := range flat.CellsOfTier(TierMicro) {
+		if flat.TierOf(c.Parent) != TierMacro {
+			t.Fatal("flat layout still chained micros")
+		}
+	}
+}
+
+func TestPrefixesDisjointAndAssigned(t *testing.T) {
+	top := build(t, DefaultConfig())
+	seen := make(map[string]string)
+	for _, c := range top.Cells {
+		if c.Prefix.Bits == 0 {
+			t.Fatalf("cell %s has no prefix", c.Name)
+		}
+		if prev, ok := seen[c.Prefix.String()]; ok {
+			t.Fatalf("prefix %s assigned to both %s and %s", c.Prefix, prev, c.Name)
+		}
+		seen[c.Prefix.String()] = c.Name
+	}
+	// Domain cells share the domain /16.
+	for _, dom := range top.Domains {
+		want := top.Cell(dom.Root).Prefix.Base & 0xFFFF0000
+		for _, cid := range dom.Cells {
+			if top.Cell(cid).Prefix.Base&0xFFFF0000 != want {
+				t.Fatalf("cell %s outside its domain /16", top.Cell(cid).Name)
+			}
+		}
+	}
+}
+
+func TestCoverageNesting(t *testing.T) {
+	top := build(t, DefaultConfig())
+	// Every micro/pico centre must be covered by its domain macro and its
+	// root, so upward handoff is always geometrically possible.
+	for _, c := range top.Cells {
+		if c.Tier == TierRoot {
+			continue
+		}
+		root := top.Cell(top.RootOf(c.ID))
+		if !root.Coverage().Contains(c.Pos) {
+			t.Fatalf("%s centre outside root coverage", c.Name)
+		}
+		if c.Tier == TierMicro || c.Tier == TierPico {
+			dm := top.Cell(top.DomainRoot(c.ID))
+			if !dm.Coverage().Contains(c.Pos) {
+				t.Fatalf("%s centre outside domain macro coverage", c.Name)
+			}
+		}
+	}
+}
+
+func TestCoveringQuery(t *testing.T) {
+	top := build(t, DefaultConfig())
+	micro := top.CellsOfTier(TierMicro)[0]
+	ids := top.Covering(micro.Pos)
+	foundSelf, foundMacro := false, false
+	for _, id := range ids {
+		if id == micro.ID {
+			foundSelf = true
+		}
+		if id == top.DomainRoot(micro.ID) {
+			foundMacro = true
+		}
+	}
+	if !foundSelf || !foundMacro {
+		t.Fatalf("Covering at micro centre = %v", ids)
+	}
+	// A point far outside the arena is covered by nothing.
+	if ids := top.Covering(geo.Pt(-1e6, -1e6)); len(ids) != 0 {
+		t.Fatalf("far point covered by %v", ids)
+	}
+}
+
+func TestSignalsMeasureEveryCell(t *testing.T) {
+	top := build(t, DefaultConfig())
+	sigs := top.Signals(top.Cells[0].Pos, nil)
+	if len(sigs) != len(top.Cells) {
+		t.Fatalf("signals = %d, want %d", len(sigs), len(top.Cells))
+	}
+	// Deterministic without rng.
+	sigs2 := top.Signals(top.Cells[0].Pos, nil)
+	for i := range sigs {
+		if sigs[i] != sigs2[i] {
+			t.Fatal("nil-rng signals nondeterministic")
+		}
+	}
+	// With rng, still one per cell.
+	if got := top.Signals(top.Cells[0].Pos, simtime.NewRand(1)); len(got) != len(top.Cells) {
+		t.Fatal("rng signals wrong length")
+	}
+}
+
+func TestCrossoverAndHops(t *testing.T) {
+	top := build(t, DefaultConfig())
+	// Two micros in the same domain: crossover within the domain subtree.
+	dom := top.Domains[0]
+	var micros []CellID
+	for _, cid := range dom.Cells {
+		if top.TierOf(cid) == TierMicro {
+			micros = append(micros, cid)
+		}
+	}
+	if len(micros) < 2 {
+		t.Fatal("domain has fewer than 2 micros")
+	}
+	x := top.Crossover(micros[0], micros[1])
+	if x == NoCell || !top.SameDomain(micros[0], x) && top.TierOf(x) != TierRoot {
+		t.Fatalf("crossover = %v", x)
+	}
+	// micros[1] chains under micros[0], so their crossover is micros[0]
+	// itself at zero hops from it.
+	if top.Crossover(micros[0], micros[1]) != micros[0] {
+		t.Fatal("ancestor crossover should be the ancestor")
+	}
+	if h := top.HopsToCrossover(micros[1], micros[0]); h != 1 {
+		t.Fatalf("child->parent hops = %d, want 1", h)
+	}
+	// micros[1] (chained) and micros[2] (sibling branch) merge at the
+	// domain macro: two hops up from the chained micro.
+	if h := top.HopsToCrossover(micros[1], micros[2]); h != 2 {
+		t.Fatalf("chained->sibling hops = %d, want 2", h)
+	}
+	// Same cell: crossover is itself, zero hops.
+	if top.Crossover(micros[0], micros[0]) != micros[0] {
+		t.Fatal("self crossover wrong")
+	}
+	if top.HopsToCrossover(micros[0], micros[0]) != 0 {
+		t.Fatal("self hops wrong")
+	}
+	// Cells under different roots share no ancestor.
+	r0 := top.CellsOfTier(TierMacro)[0].ID
+	var r1 CellID = NoCell
+	for _, c := range top.CellsOfTier(TierMacro) {
+		if top.RootOf(c.ID) != top.RootOf(r0) {
+			r1 = c.ID
+			break
+		}
+	}
+	if r1 == NoCell {
+		t.Fatal("no macro under a different root")
+	}
+	if top.Crossover(r0, r1) != NoCell {
+		t.Fatal("different-root crossover should be NoCell")
+	}
+	if top.HopsToCrossover(r0, r1) != -1 {
+		t.Fatal("different-root hops should be -1")
+	}
+}
+
+func TestDomainAndUpperBSPredicates(t *testing.T) {
+	top := build(t, DefaultConfig())
+	macros := top.CellsOfTier(TierMacro)
+	// macros[0] and macros[1] share root-0; macros[2], macros[3] share root-1.
+	if !top.SameUpperBS(macros[0].ID, macros[1].ID) {
+		t.Fatal("same-root macros not recognised")
+	}
+	if top.SameUpperBS(macros[0].ID, macros[2].ID) {
+		t.Fatal("different-root macros reported same upper BS")
+	}
+	if top.SameDomain(macros[0].ID, macros[1].ID) {
+		t.Fatal("different domains reported same")
+	}
+	dom := top.Domains[0]
+	for _, cid := range dom.Cells {
+		if !top.SameDomain(dom.Root, cid) {
+			t.Fatal("domain membership broken")
+		}
+		if top.DomainRoot(cid) != dom.Root {
+			t.Fatal("DomainRoot broken")
+		}
+	}
+	root := top.CellsOfTier(TierRoot)[0]
+	if top.DomainRoot(root.ID) != NoCell {
+		t.Fatal("root DomainRoot should be NoCell")
+	}
+}
+
+func TestPathToRootEndsAtRoot(t *testing.T) {
+	top := build(t, DefaultConfig())
+	for _, c := range top.Cells {
+		path := top.PathToRoot(c.ID)
+		if path[0] != c.ID {
+			t.Fatal("path must start at the cell")
+		}
+		last := top.Cell(path[len(path)-1])
+		if last.Tier != TierRoot {
+			t.Fatalf("path from %s ends at %s", c.Name, last.Name)
+		}
+		if top.RootOf(c.ID) != last.ID {
+			t.Fatal("RootOf disagrees with PathToRoot")
+		}
+	}
+}
+
+func TestArenaCoversEverything(t *testing.T) {
+	top := build(t, DefaultConfig())
+	for _, c := range top.Cells {
+		if !top.Arena.Contains(c.Pos) {
+			t.Fatalf("cell %s outside arena", c.Name)
+		}
+	}
+	if top.Arena.Width() <= 0 || top.Arena.Height() <= 0 {
+		t.Fatal("degenerate arena")
+	}
+}
+
+func TestCellAccessorBounds(t *testing.T) {
+	top := build(t, DefaultConfig())
+	if top.Cell(NoCell) != nil {
+		t.Fatal("Cell(NoCell) should be nil")
+	}
+	if top.Cell(CellID(len(top.Cells))) != nil {
+		t.Fatal("out-of-range Cell should be nil")
+	}
+	if top.Cell(0) == nil {
+		t.Fatal("Cell(0) should exist")
+	}
+}
+
+func TestSingleRootSingleMacro(t *testing.T) {
+	cfg := Config{
+		Roots:          1,
+		MacrosPerRoot:  1,
+		MicrosPerMacro: 2,
+		PicosPerMicro:  0,
+		BasePrefix:     addr.MustParsePrefix("10.0.0.0/8"),
+	}
+	top := build(t, cfg)
+	macro := top.CellsOfTier(TierMacro)[0]
+	root := top.CellsOfTier(TierRoot)[0]
+	if macro.Pos != root.Pos {
+		t.Fatal("single macro should sit at root centre")
+	}
+	if len(top.Domains) != 1 {
+		t.Fatalf("domains = %d", len(top.Domains))
+	}
+}
+
+func TestTierStrings(t *testing.T) {
+	for _, tier := range []Tier{TierPico, TierMicro, TierMacro, TierRoot, Tier(42)} {
+		if tier.String() == "" {
+			t.Fatal("empty tier string")
+		}
+	}
+}
