@@ -1,0 +1,26 @@
+# Tier-1 verify plus the guards that keep the build honest. `make check`
+# is what CI should run: vet catches the missing-go.mod class of rot at
+# the first command, and -race exercises the parallel scenario runner.
+
+GO ?= go
+
+.PHONY: verify build test check vet race bench
+
+verify: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

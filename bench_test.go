@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -15,11 +16,15 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/multitier"
 	"repro/internal/packet"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/topology"
 )
 
-var benchOpt = experiments.Options{Seed: 11, TimeScale: 0.05}
+// benchOpt pins Parallel to 1 so the per-experiment benches keep
+// measuring raw single-worker simulation throughput; the suite-level
+// benches below compare sequential vs worker-pool execution.
+var benchOpt = experiments.Options{Seed: 11, TimeScale: 0.05, Parallel: 1}
 
 func benchExperiment(b *testing.B, run func(experiments.Options) (*experiments.Table, error)) {
 	b.Helper()
@@ -61,6 +66,40 @@ func BenchmarkE7ResourceSwitching(b *testing.B) {
 
 func BenchmarkE8PagingAndRSMCLoad(b *testing.B) {
 	benchExperiment(b, experiments.E8PagingAndRSMCLoad)
+}
+
+// benchAll runs the full E1–E8 suite with the given worker count; the
+// sequential/parallel pair quantifies the worker-pool speedup on the
+// whole regeneration.
+func benchAll(b *testing.B, parallel int) {
+	b.Helper()
+	b.ReportAllocs()
+	opt := experiments.Options{Seed: 11, TimeScale: 0.02, Parallel: parallel}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.All(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllSequential(b *testing.B) { benchAll(b, 1) }
+
+func BenchmarkAllParallel(b *testing.B) { benchAll(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkRunnerReplicated measures the worker pool itself: one config
+// replicated across every core.
+func BenchmarkRunnerReplicated(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Duration = 5 * time.Second
+	cfg.NumMNs = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := runner.Run([]runner.Job{{Config: cfg}},
+			runner.Options{BaseSeed: int64(i + 1), Reps: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkScenarioPerScheme measures raw simulation throughput of one

@@ -1,18 +1,24 @@
 // Command mmbench regenerates every experiment table E1–E8 (DESIGN.md §3
 // maps each to a figure or claim of the paper). Use -scale to shrink run
-// lengths during development.
+// lengths during development, -parallel to spread each experiment's
+// scenarios across workers, and -reps to replicate every scenario and
+// report mean±std cells.
 //
 // Example:
 //
-//	mmbench            # full-length suite
-//	mmbench -scale 0.1 # 10x shorter scenarios
-//	mmbench -only E6   # a single experiment
+//	mmbench                   # full-length suite, GOMAXPROCS workers
+//	mmbench -scale 0.1        # 10x shorter scenarios
+//	mmbench -only E6          # a single experiment
+//	mmbench -reps 5 -seed 42  # 5 replications per cell
+//	mmbench -parallel 1       # sequential (same tables as parallel)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -27,14 +33,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mmbench", flag.ContinueOnError)
 	var (
-		seed  = fs.Int64("seed", 1, "base seed")
-		scale = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
-		only  = fs.String("only", "", "run a single experiment (E1..E8)")
+		seed     = fs.Int64("seed", 1, "base seed")
+		scale    = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
+		only     = fs.String("only", "", "run a single experiment (E1..E8)")
+		reps     = fs.Int("reps", 1, "replications per scenario (cells become mean±std)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "scenario workers per experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opt := experiments.Options{Seed: *seed, TimeScale: *scale}
+	opt := experiments.Options{Seed: *seed, TimeScale: *scale, Reps: *reps, Parallel: *parallel}
+	if err := opt.Validate(); err != nil {
+		return err
+	}
 
 	type exp struct {
 		id  string
@@ -51,6 +62,7 @@ func run(args []string) error {
 		{"E8", experiments.E8PagingAndRSMCLoad},
 	}
 	ran := 0
+	start := time.Now()
 	for _, e := range all {
 		if *only != "" && e.id != *only {
 			continue
@@ -65,5 +77,7 @@ func run(args []string) error {
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
+	fmt.Fprintf(os.Stderr, "mmbench: %d experiment(s), %d rep(s), %d worker(s) in %v\n",
+		ran, *reps, *parallel, time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -19,3 +19,24 @@ func TestRunRejectsBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestRunReplicatedParallel(t *testing.T) {
+	if err := run([]string{"-scale", "0.02", "-only", "E1", "-reps", "2", "-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsDegenerateOptions(t *testing.T) {
+	if err := run([]string{"-scale", "0"}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if err := run([]string{"-scale", "-1"}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if err := run([]string{"-reps", "0"}); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+	if err := run([]string{"-parallel", "0"}); err == nil {
+		t.Fatal("zero parallel accepted")
+	}
+}

@@ -1,18 +1,24 @@
 // Command mmsim runs one mobility-management scenario and prints its
-// metrics. It is the single-run counterpart to cmd/mmbench.
+// metrics. It is the single-run counterpart to cmd/mmbench. With
+// -reps > 1 the scenario is replicated with runner-derived seeds across
+// -parallel workers and per-replication plus aggregate statistics are
+// printed.
 //
 // Example:
 //
 //	mmsim -scheme multitier-rsmc -mns 8 -speed 15 -duration 2m -video
+//	mmsim -reps 8 -parallel 4 -seed 42
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/topology"
 )
 
@@ -40,9 +46,17 @@ func run(args []string) error {
 		authOn    = fs.Bool("auth", false, "enable RSMC authentication")
 		shadowing = fs.Bool("shadowing", false, "log-normal shadowing on measurements")
 		full      = fs.Bool("metrics", false, "print the full metric registry")
+		reps      = fs.Int("reps", 1, "replications of the scenario (runner-derived seeds)")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "replication workers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *reps < 1 {
+		return fmt.Errorf("reps %d: must be >= 1", *reps)
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("parallel %d: must be >= 1", *parallel)
 	}
 
 	topCfg := topology.DefaultConfig()
@@ -62,6 +76,9 @@ func run(args []string) error {
 		AuthEnabled:       *authOn,
 		Shadowing:         *shadowing,
 	}
+	if *reps > 1 {
+		return runReplicated(cfg, *reps, *parallel, *full)
+	}
 	res, err := core.Run(cfg)
 	if err != nil {
 		return err
@@ -72,6 +89,43 @@ func run(args []string) error {
 	if *full {
 		fmt.Println()
 		fmt.Print(res.Registry.Render())
+	}
+	return nil
+}
+
+// runReplicated executes the scenario reps times through the worker pool
+// (the configured seed becomes the runner's base seed) and prints each
+// replication plus the aggregate.
+func runReplicated(cfg core.Config, reps, parallel int, full bool) error {
+	base := cfg.Seed
+	// Paired so replication 0 runs on the base seed itself: -reps N
+	// always contains the plain -seed run and adds error bars to it.
+	res, err := runner.Run(
+		[]runner.Job{{Label: string(cfg.Scheme), Config: cfg}},
+		runner.Options{BaseSeed: base, Reps: reps, Parallel: parallel, Paired: true})
+	if err != nil {
+		return err
+	}
+	r := res[0]
+	fmt.Printf("scheme=%s mns=%d speed=%.1fm/s duration=%v base-seed=%d reps=%d\n",
+		cfg.Scheme, cfg.NumMNs, cfg.SpeedMPS, cfg.Duration, base, reps)
+	for i, run := range r.Runs {
+		fmt.Printf("rep %d seed=%d: %s\n", i, r.Seeds[i], run.Summary)
+	}
+	printStat := func(name, unit string, s runner.Stat) {
+		fmt.Printf("  %-14s mean=%.4f%s std=%.4f%s min=%.4f%s max=%.4f%s\n",
+			name, s.Mean, unit, s.Std, unit, s.Min, unit, s.Max, unit)
+	}
+	fmt.Println("aggregate:")
+	printStat("loss", "", r.LossRate())
+	printStat("mean latency", "s", r.MeanLatency())
+	printStat("p95 latency", "s", r.P95Latency())
+	printStat("handoffs", "", r.Handoffs())
+	printStat("signal msgs", "", r.SignalingMsgs())
+	printStat("signal bytes", "B", r.SignalingBytes())
+	if full {
+		fmt.Printf("\nmetrics (rep 0, seed %d):\n", r.Seeds[0])
+		fmt.Print(r.Runs[0].Registry.Render())
 	}
 	return nil
 }

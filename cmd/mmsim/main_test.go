@@ -28,6 +28,24 @@ func TestRunRejectsBadFlag(t *testing.T) {
 	}
 }
 
+func TestRunReplicated(t *testing.T) {
+	if err := run([]string{"-duration", "3s", "-mns", "2", "-reps", "3", "-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadReps(t *testing.T) {
+	if err := run([]string{"-duration", "3s", "-reps", "0"}); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+	if err := run([]string{"-duration", "3s", "-parallel", "0"}); err == nil {
+		t.Fatal("zero parallel accepted")
+	}
+	if err := run([]string{"-duration", "3s", "-parallel", "-1"}); err == nil {
+		t.Fatal("negative parallel accepted")
+	}
+}
+
 func TestRunKnobs(t *testing.T) {
 	if err := run([]string{
 		"-duration", "3s", "-mns", "2", "-video", "-data-interval", "500ms",

@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -263,6 +265,39 @@ func TestVideoAndDataTraffic(t *testing.T) {
 		if !found {
 			t.Fatalf("missing metric %s", w)
 		}
+	}
+}
+
+func TestZeroSendScenarioSummary(t *testing.T) {
+	// A population with no traffic generators sends nothing; the summary
+	// must not divide by zero or take percentiles of empty samples.
+	cfg := shortCfg(SchemeMultiTier)
+	cfg.Traffic = TrafficConfig{}
+	cfg.Duration = 5 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary
+	if sum.Sent != 0 {
+		t.Fatalf("no-traffic run sent %d packets", sum.Sent)
+	}
+	if sum.LossRate != 0 || sum.MeanLatency != 0 || sum.P95Latency != 0 {
+		t.Fatalf("zero-send summary has derived values: %s", sum)
+	}
+	if out := sum.String(); strings.Contains(out, "NaN") {
+		t.Fatalf("summary renders NaN: %s", out)
+	}
+}
+
+func TestSummaryStringNaNFree(t *testing.T) {
+	s := Summary{Sent: 0, LossRate: math.NaN()}
+	if out := s.String(); strings.Contains(out, "NaN") {
+		t.Fatalf("NaN leaked into rendering: %s", out)
+	}
+	s = Summary{LossRate: math.Inf(1)}
+	if out := s.String(); strings.Contains(out, "Inf") || strings.Contains(out, "inf") {
+		t.Fatalf("Inf leaked into rendering: %s", out)
 	}
 }
 

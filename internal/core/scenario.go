@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/addr"
@@ -41,10 +42,16 @@ type Summary struct {
 	SignalingBytes uint64
 }
 
-// String renders the summary as one comparison row.
+// String renders the summary as one comparison row. A NaN or infinite
+// loss rate (possible only in hand-assembled summaries — summarize
+// guards the division) renders as zero so rows stay parseable.
 func (s Summary) String() string {
+	loss := s.LossRate
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		loss = 0
+	}
 	return fmt.Sprintf("sent=%d delivered=%d dropped=%d loss=%.3f%% mean=%v p95=%v handoffs=%d signaling=%d msgs/%d B",
-		s.Sent, s.Delivered, s.Dropped, 100*s.LossRate,
+		s.Sent, s.Delivered, s.Dropped, 100*loss,
 		s.MeanLatency.Round(time.Microsecond), s.P95Latency.Round(time.Microsecond),
 		s.Handoffs, s.SignalingMsgs, s.SignalingBytes)
 }
@@ -468,10 +475,17 @@ func (s *scenario) summarize() Summary {
 		Dropped:   s.acct.Dropped(),
 		Handoffs:  s.reg.Counter("handoffs").Value(),
 	}
+	// Zero-send scenarios (signalling-only populations) have no loss by
+	// definition; the guard keeps LossRate off the 0/0 NaN path. Receiver
+	// dedup can only push delivered up to sent, but clamp anyway so a
+	// counting bug can never surface as a negative rate.
 	if sum.Sent > 0 {
 		sum.LossRate = 1 - float64(sum.Delivered)/float64(sum.Sent)
+		if sum.LossRate < 0 {
+			sum.LossRate = 0
+		}
 	}
-	if h, ok := s.latencyAll(); ok {
+	if h, ok := s.latencyAll(); ok && h.Count() > 0 {
 		sum.MeanLatency = h.Mean()
 		sum.P95Latency = h.Quantile(0.95)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"errors"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -187,8 +189,80 @@ func TestOptionsScaleFloor(t *testing.T) {
 	if got := o.scale(time.Minute); got != 2*time.Second {
 		t.Fatalf("scale floor = %v", got)
 	}
-	o = Options{}
+	o, err := Options{}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := o.scale(time.Minute); got != time.Minute {
 		t.Fatalf("identity scale = %v", got)
+	}
+}
+
+func TestOptionsValidateRejectsDegenerate(t *testing.T) {
+	bad := []Options{
+		{TimeScale: -0.5},
+		{TimeScale: math.NaN()},
+		{TimeScale: 1, Reps: -1},
+		{TimeScale: 1, Parallel: -4},
+	}
+	for _, o := range bad {
+		if _, err := o.normalized(); !errors.Is(err, ErrBadOptions) {
+			t.Fatalf("options %+v accepted (err=%v)", o, err)
+		}
+		// The experiments surface the same error instead of running.
+		if _, err := E1MobileIPProcedures(o); !errors.Is(err, ErrBadOptions) {
+			t.Fatalf("E1 accepted %+v (err=%v)", o, err)
+		}
+	}
+	if err := (Options{}).Validate(); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("strict Validate accepted the zero value: %v", err)
+	}
+	o, err := Options{}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.TimeScale != 1 || o.Reps != 1 || o.Parallel < 1 {
+		t.Fatalf("normalized defaults = %+v", o)
+	}
+}
+
+// TestAllParallelMatchesSequential is the harness-level determinism
+// contract: the full suite renders byte-identical tables on one worker
+// and on many.
+func TestAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite twice")
+	}
+	render := func(parallel int) string {
+		opt := quick
+		opt.Parallel = parallel
+		tables, err := All(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tbl := range tables {
+			b.WriteString(tbl.String())
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Fatalf("parallel suite diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestReplicatedCellsRenderSpread checks that reps > 1 turns cells into
+// mean±std aggregates.
+func TestReplicatedCellsRenderSpread(t *testing.T) {
+	opt := quick
+	opt.Reps = 2
+	tbl, err := E1MobileIPProcedures(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := tbl.String(); !strings.Contains(out, "±") {
+		t.Fatalf("replicated table has no ± cells:\n%s", out)
 	}
 }

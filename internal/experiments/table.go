@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/runner"
 )
 
 // Table is one experiment's output: the rows cmd/mmbench prints.
@@ -80,3 +82,48 @@ func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
 
 // fmtI renders an integer count.
 func fmtI[T ~uint64 | ~int](v T) string { return fmt.Sprintf("%d", v) }
+
+// Replicated cells render as "mean±std"; single-replication cells keep
+// the plain single-run format so a reps=1 table is unchanged.
+
+// fmtStatI renders an integer-valued stat.
+func fmtStatI(s runner.Stat) string {
+	if s.N <= 1 {
+		return fmt.Sprintf("%d", int64(s.Mean))
+	}
+	return fmt.Sprintf("%.1f±%.1f", s.Mean, s.Std)
+}
+
+// fmtStatF renders a float stat.
+func fmtStatF(s runner.Stat) string {
+	if s.N <= 1 {
+		return fmtF(s.Mean)
+	}
+	return fmt.Sprintf("%.2f±%.2f", s.Mean, s.Std)
+}
+
+// fmtStatPct renders a ratio stat as a percentage.
+func fmtStatPct(s runner.Stat) string {
+	if s.N <= 1 {
+		return fmtPct(s.Mean)
+	}
+	return fmt.Sprintf("%.3f±%.3f%%", 100*s.Mean, 100*s.Std)
+}
+
+// fmtStatDur renders a stat measured in seconds as a duration.
+func fmtStatDur(s runner.Stat) string {
+	if s.N <= 1 {
+		return fmtDur(secs(s.Mean))
+	}
+	return fmt.Sprintf("%v±%v", fmtDur(secs(s.Mean)), fmtDur(secs(s.Std)))
+}
+
+// fmtStatB renders a byte-count stat.
+func fmtStatB(s runner.Stat) string {
+	if s.N <= 1 {
+		return fmt.Sprintf("%d B", int64(s.Mean))
+	}
+	return fmt.Sprintf("%.1f±%.1f B", s.Mean, s.Std)
+}
+
+func secs(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }

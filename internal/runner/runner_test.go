@@ -1,0 +1,194 @@
+package runner
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func tinyCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Duration = 3 * time.Second
+	cfg.NumMNs = 2
+	return cfg
+}
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[int64][2]int)
+	for job := 0; job < 32; job++ {
+		for rep := 0; rep < 32; rep++ {
+			s := Seed(99, job, rep)
+			if s2 := Seed(99, job, rep); s2 != s {
+				t.Fatalf("Seed(99,%d,%d) unstable: %d vs %d", job, rep, s, s2)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d) -> %d", prev[0], prev[1], job, rep, s)
+			}
+			seen[s] = [2]int{job, rep}
+		}
+	}
+	if Seed(1, 0, 0) == Seed(2, 0, 0) {
+		t.Fatal("base seed does not influence derivation")
+	}
+}
+
+// TestParallelMatchesSequential is the determinism contract: the same
+// batch produces identical summaries whether it runs on one worker or
+// many.
+func TestParallelMatchesSequential(t *testing.T) {
+	jobs := make([]Job, 3)
+	for i, scheme := range []core.Scheme{core.SchemeMobileIP, core.SchemeCellularIPHard, core.SchemeMultiTier} {
+		cfg := tinyCfg()
+		cfg.Scheme = scheme
+		jobs[i] = Job{Label: string(scheme), Config: cfg}
+	}
+	seq, err := Run(jobs, Options{BaseSeed: 5, Reps: 2, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(jobs, Options{BaseSeed: 5, Reps: 2, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range jobs {
+		for r := range seq[j].Runs {
+			if seq[j].Seeds[r] != par[j].Seeds[r] {
+				t.Fatalf("job %d rep %d: seed %d vs %d", j, r, seq[j].Seeds[r], par[j].Seeds[r])
+			}
+			a, b := seq[j].Runs[r].Summary, par[j].Runs[r].Summary
+			if a != b {
+				t.Fatalf("job %d rep %d diverged:\nseq: %s\npar: %s", j, r, a, b)
+			}
+			if got := seq[j].Runs[r].Registry.Render(); got != par[j].Runs[r].Registry.Render() {
+				t.Fatalf("job %d rep %d: registries diverged", j, r)
+			}
+		}
+	}
+}
+
+func TestReplicationsUseDistinctSeeds(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Mobility = core.MobilityWaypoint
+	cfg.SpeedMPS = 30
+	cfg.Duration = 30 * time.Second
+	res, err := Run([]Job{{Config: cfg}}, Options{BaseSeed: 1, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Seeds[0] == r.Seeds[1] || r.Seeds[1] == r.Seeds[2] {
+		t.Fatalf("replication seeds not distinct: %v", r.Seeds)
+	}
+	// Waypoint mobility is seed-driven, so replications must diverge.
+	if r.Runs[0].Registry.Render() == r.Runs[1].Registry.Render() {
+		t.Fatal("replications with distinct seeds produced identical runs")
+	}
+}
+
+func TestPairedSeeds(t *testing.T) {
+	if PairedSeed(42, 0) != 42 {
+		t.Fatal("paired replication 0 must use the base seed")
+	}
+	if PairedSeed(42, 1) == 42 || PairedSeed(42, 1) == PairedSeed(42, 2) {
+		t.Fatal("later paired replications must diverge")
+	}
+	jobs := []Job{{Config: tinyCfg()}, {Config: tinyCfg()}}
+	res, err := Run(jobs, Options{BaseSeed: 9, Reps: 2, Paired: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if res[0].Seeds[r] != res[1].Seeds[r] {
+			t.Fatalf("rep %d: paired jobs drew different seeds %d vs %d", r, res[0].Seeds[r], res[1].Seeds[r])
+		}
+	}
+	if res[0].Seeds[0] != 9 {
+		t.Fatalf("rep 0 seed = %d, want base 9", res[0].Seeds[0])
+	}
+}
+
+func TestNewStatMath(t *testing.T) {
+	s := NewStat([]float64{2, 4, 6, 8})
+	if s.N != 4 || s.Mean != 5 || s.Min != 2 || s.Max != 8 {
+		t.Fatalf("stat = %+v", s)
+	}
+	// Sample variance of {2,4,6,8} is 20/3.
+	if want := math.Sqrt(20.0 / 3.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+	if one := NewStat([]float64{7}); one.N != 1 || one.Mean != 7 || one.Std != 0 || one.Min != 7 || one.Max != 7 {
+		t.Fatalf("single-value stat = %+v", one)
+	}
+	if empty := NewStat(nil); empty.N != 0 || empty.Mean != 0 || empty.Std != 0 {
+		t.Fatalf("empty stat = %+v", empty)
+	}
+}
+
+func TestJobResultAggregation(t *testing.T) {
+	mk := func(loss float64, handoffs uint64) *core.Result {
+		reg := metrics.NewRegistry()
+		reg.Counter("x").Add(handoffs)
+		return &core.Result{
+			Registry: reg,
+			Summary:  core.Summary{LossRate: loss, Handoffs: handoffs, MeanLatency: 10 * time.Millisecond},
+		}
+	}
+	r := JobResult{Runs: []*core.Result{mk(0.1, 4), mk(0.3, 8), nil}}
+	if got := r.LossRate(); got.N != 2 || math.Abs(got.Mean-0.2) > 1e-12 {
+		t.Fatalf("loss stat = %+v", got)
+	}
+	if got := r.Handoffs(); got.Mean != 6 || got.Min != 4 || got.Max != 8 {
+		t.Fatalf("handoff stat = %+v", got)
+	}
+	if got := r.Counter("x"); got.Mean != 6 {
+		t.Fatalf("counter stat = %+v", got)
+	}
+	if got := r.MeanLatency(); math.Abs(got.Mean-0.010) > 1e-12 {
+		t.Fatalf("latency stat = %+v", got)
+	}
+	if r.First() != r.Runs[0] {
+		t.Fatal("First should return the first surviving run")
+	}
+}
+
+func TestRunReportsFailures(t *testing.T) {
+	bad := tinyCfg()
+	bad.Duration = 0 // rejected by core.Run
+	good := tinyCfg()
+	res, err := Run([]Job{{Label: "broken", Config: bad}, {Label: "fine", Config: good}}, Options{BaseSeed: 1})
+	if err == nil {
+		t.Fatal("invalid job did not surface an error")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("error does not name the failing job: %v", err)
+	}
+	if res[0].First() != nil {
+		t.Fatal("failed job has a result")
+	}
+	if res[1].First() == nil {
+		t.Fatal("surviving job lost its result")
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	jobs := []Job{{Config: tinyCfg()}}
+	if _, err := Run(jobs, Options{Reps: -1}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("negative reps: %v", err)
+	}
+	if _, err := Run(jobs, Options{Parallel: -2}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("negative parallel: %v", err)
+	}
+}
+
+// TestRunEmptyBatch ensures the pool shuts down cleanly with no work.
+func TestRunEmptyBatch(t *testing.T) {
+	res, err := Run(nil, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+}
