@@ -1,10 +1,18 @@
 # Tier-1 verify plus the guards that keep the build honest. `make check`
 # is what CI should run: vet catches the missing-go.mod class of rot at
-# the first command, and -race exercises the parallel scenario runner.
+# the first command, -race exercises the parallel scenario runner, and
+# the bench smoke proves the benchmark harness still compiles and runs.
 
 GO ?= go
 
-.PHONY: verify build test check vet race bench
+# bench-save output file and bench-compare inputs.
+OUT ?= bench.txt
+OLD ?= old.txt
+NEW ?= new.txt
+# BENCH_JSON is the perf-trajectory snapshot bench-json writes.
+BENCH_JSON ?= BENCH_2.json
+
+.PHONY: verify build test check vet race bench bench-smoke bench-save bench-json bench-compare
 
 verify: build test
 
@@ -20,7 +28,29 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: vet race bench-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-smoke: every benchmark once, allocation counters on — fast enough
+# for CI, enough to catch a broken bench or a gross alloc regression.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' .
+
+# bench-save: a comparable snapshot (fixed iteration count so runs pair up
+# under benchstat).
+bench-save:
+	$(GO) test -bench . -benchtime 3x -benchmem -run '^$$' . > $(OUT)
+
+# bench-json: machine-readable ns/op + allocs/op per experiment, written
+# to $(BENCH_JSON) so the perf trajectory is tracked in-repo PR over PR.
+# The bench output lands in an intermediate file first so a failing bench
+# run aborts the recipe instead of silently truncating the snapshot.
+bench-json:
+	$(GO) test -bench . -benchtime 3x -benchmem -run '^$$' . > $(BENCH_JSON).tmp
+	$(GO) run ./tools/benchjson < $(BENCH_JSON).tmp > $(BENCH_JSON)
+	rm -f $(BENCH_JSON).tmp
+
+bench-compare:
+	sh tools/bench-compare.sh $(OLD) $(NEW)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/multitier"
 	"repro/internal/packet"
+	"repro/internal/radio"
 	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/topology"
@@ -205,5 +206,32 @@ func BenchmarkTopologySignals(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		top.Signals(pos, nil)
+	}
+}
+
+// BenchmarkTopologyMeasureInto is the actual per-tick measurement path:
+// grid-restricted, into a reused scratch buffer — 0 allocs/op.
+func BenchmarkTopologyMeasureInto(b *testing.B) {
+	top, err := topology.Build(topology.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pos := top.Cells[2].Pos
+	var scratch []radio.Signal
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scratch = top.MeasureInto(scratch, pos, nil)
+	}
+}
+
+// BenchmarkPacketPoolCycle measures the free-list New/Release round trip
+// that replaces a heap allocation per packet — 0 allocs/op.
+func BenchmarkPacketPoolCycle(b *testing.B) {
+	src, dst := addr.MustParse("10.0.0.1"), addr.MustParse("10.1.0.1")
+	payload := packet.ZeroPayload(160)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := packet.New(src, dst, packet.ClassConversational, 1, uint32(i), payload)
+		packet.Release(p)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -33,11 +34,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mmbench", flag.ContinueOnError)
 	var (
-		seed     = fs.Int64("seed", 1, "base seed")
-		scale    = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
-		only     = fs.String("only", "", "run a single experiment (E1..E8)")
-		reps     = fs.Int("reps", 1, "replications per scenario (cells become mean±std)")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "scenario workers per experiment")
+		seed       = fs.Int64("seed", 1, "base seed")
+		scale      = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
+		only       = fs.String("only", "", "run a single experiment (E1..E8)")
+		reps       = fs.Int("reps", 1, "replications per scenario (cells become mean±std)")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "scenario workers per experiment")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,6 +48,32 @@ func run(args []string) error {
 	opt := experiments.Options{Seed: *seed, TimeScale: *scale, Reps: *reps, Parallel: *parallel}
 	if err := opt.Validate(); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			// Allocation profile at exit: runtime.GC first so the profile
+			// reflects live + cumulative allocation sites accurately.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "mmbench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	type exp struct {

@@ -64,6 +64,10 @@ type BaseStation struct {
 
 	attached map[addr.IP]*netsim.Node
 
+	// bicast is scratch for deliverDown's duplicate list, reused so the
+	// semisoft bicast path stays allocation-free per packet.
+	bicast []*packet.Packet
+
 	// external is the gateway's wired-side router; nil on ordinary
 	// stations.
 	external *netsim.StaticRouter
@@ -205,6 +209,7 @@ func (bs *BaseStation) refreshFromData(src addr.IP, hop Mapping) {
 func (bs *BaseStation) handleControl(pkt *packet.Packet, hop Mapping) {
 	msg, err := ParseMessage(pkt.Payload)
 	if err != nil {
+		packet.Release(pkt)
 		return
 	}
 	switch m := msg.(type) {
@@ -224,7 +229,8 @@ func (bs *BaseStation) handleControl(pkt *packet.Packet, hop Mapping) {
 		}
 		bs.paging.Replace(m.Host, hop)
 	}
-	// Propagate up to the gateway so the whole chain refreshes.
+	// Propagate up to the gateway so the whole chain refreshes; at the
+	// gateway the update is fully absorbed and the packet is terminal.
 	if bs.parent != nil {
 		if bs.stats != nil {
 			bs.stats.ControlBytes.Add(uint64(pkt.Size()))
@@ -232,7 +238,9 @@ func (bs *BaseStation) handleControl(pkt *packet.Packet, hop Mapping) {
 		if err := bs.node.SendVia(bs.parent, pkt); err != nil {
 			bs.node.Network().Drop(bs.node, pkt, metrics.DropLinkLoss)
 		}
+		return
 	}
+	packet.Release(pkt)
 }
 
 // forwardUp moves uplink data toward the gateway and out.
@@ -285,14 +293,27 @@ func (bs *BaseStation) deliverDown(pkt *packet.Packet) {
 		bs.pageFlood(pkt)
 		return
 	}
-	for i, m := range maps {
-		out := pkt
-		if i > 0 {
-			out = pkt.Clone()
-			out.Flags |= packet.FlagBicast
-		}
-		bs.sendMapping(out, m)
+	if len(maps) == 1 {
+		bs.sendMapping(pkt, maps[0])
+		return
 	}
+	// Bicast: cut every duplicate before dispatching anything — the
+	// original can be consumed (dropped and recycled) by its own
+	// sendMapping, so cloning lazily inside the loop would copy a dead
+	// packet.
+	dups := bs.bicast[:0]
+	for range maps[1:] {
+		c := pkt.Clone()
+		c.Flags |= packet.FlagBicast
+		dups = append(dups, c)
+	}
+	bs.sendMapping(pkt, maps[0])
+	for i, m := range maps[1:] {
+		c := dups[i]
+		dups[i] = nil // scratch must not retain a consumed packet
+		bs.sendMapping(c, m)
+	}
+	bs.bicast = dups[:0]
 }
 
 func (bs *BaseStation) sendMapping(pkt *packet.Packet, m Mapping) {
@@ -325,15 +346,18 @@ func (bs *BaseStation) sendMapping(pkt *packet.Packet, m Mapping) {
 // cache entry constrains the search.
 func (bs *BaseStation) pageFlood(pkt *packet.Packet) {
 	delivered := false
+	sentAir := false
 	if host, ok := bs.attached[pkt.Dst]; ok {
 		_ = bs.node.Network().DeliverDirect(bs.node, host, pkt, bs.cfg.AirDelay, bs.cfg.AirLoss)
 		delivered = true
+		sentAir = true
 	}
 	for _, child := range bs.children {
 		out := pkt.Clone()
 		// Flood copies are duplicates for accounting purposes.
 		out.Flags |= packet.FlagBicast
 		if err := out.DecrementTTL(); err != nil {
+			packet.Release(out)
 			continue
 		}
 		if bs.stats != nil {
@@ -347,5 +371,11 @@ func (bs *BaseStation) pageFlood(pkt *packet.Packet) {
 	if !delivered {
 		// Leaf station with no attached host: the packet dies here.
 		bs.node.Network().Drop(bs.node, pkt, metrics.DropNoRoute)
+		return
+	}
+	if !sentAir {
+		// Only clones went out; the original is dead once the flood fans
+		// out (the clones carry the packet onward).
+		packet.Release(pkt)
 	}
 }

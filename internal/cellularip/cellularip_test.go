@@ -87,7 +87,7 @@ func newCIPBed(t *testing.T, cfg Config) *cipBed {
 
 	hostNode := mk("host")
 	b.host = NewMobileHost(hostNode, addr.MustParse(hostIP), cfg, b.stats)
-	b.host.OnData = func(p *packet.Packet) { b.hostGot = append(b.hostGot, p) }
+	b.host.OnData = func(p *packet.Packet) { b.hostGot = append(b.hostGot, p.Clone()) }
 	return b
 }
 
@@ -346,7 +346,7 @@ func TestGatewayTurnaroundHostToHost(t *testing.T) {
 	host2Node := b.net.NewNode("host2")
 	host2 := NewMobileHost(host2Node, addr.MustParse("10.0.0.101"), cfg, b.stats)
 	var got2 []*packet.Packet
-	host2.OnData = func(p *packet.Packet) { got2 = append(got2, p) }
+	host2.OnData = func(p *packet.Packet) { got2 = append(got2, p.Clone()) }
 	b.host.AttachHard(b.bsLL)
 	host2.AttachHard(b.bsRR)
 	b.run(t, 100*time.Millisecond)

@@ -69,8 +69,8 @@ type MobileHost struct {
 	seq          uint32
 	routeTicker  *simtime.Ticker
 	pagingTicker *simtime.Ticker
-	idleTimer    *simtime.Event
-	semisoftEvt  *simtime.Event
+	idleTimer    simtime.Event
+	semisoftEvt  simtime.Event
 	dedup        *dedup
 
 	// OnData receives every unique data packet delivered to the host.
@@ -166,10 +166,8 @@ func (h *MobileHost) completeSemisoft() {
 }
 
 func (h *MobileHost) abortSemisoft() {
-	if h.semisoftEvt != nil {
-		h.semisoftEvt.Cancel()
-		h.semisoftEvt = nil
-	}
+	h.semisoftEvt.Cancel()
+	h.semisoftEvt = simtime.Event{}
 	if h.oldBS != nil {
 		h.oldBS.DetachHost(h.ip)
 		h.oldBS = nil
@@ -203,15 +201,11 @@ func (h *MobileHost) stopTickers() {
 	if h.pagingTicker != nil {
 		h.pagingTicker.Stop()
 	}
-	if h.idleTimer != nil {
-		h.idleTimer.Cancel()
-	}
+	h.idleTimer.Cancel()
 }
 
 func (h *MobileHost) armIdleTimer() {
-	if h.idleTimer != nil {
-		h.idleTimer.Cancel()
-	}
+	h.idleTimer.Cancel()
 	h.idleTimer = h.sched.After(h.cfg.ActiveTimeout, h.goIdle)
 }
 
@@ -288,7 +282,9 @@ func (h *MobileHost) SendData(pkt *packet.Packet) {
 }
 
 // Receive implements netsim.Handler: deduplicate, wake from idle, deliver.
+// The host is a terminal receiver and releases every delivered packet.
 func (h *MobileHost) Receive(pkt *packet.Packet, from *netsim.Node, link *netsim.Link) {
+	defer packet.Release(pkt)
 	if pkt.Proto == packet.ProtoCellular {
 		return // hosts do not process CIP control
 	}

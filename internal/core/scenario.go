@@ -249,6 +249,28 @@ func (s *scenario) measureRng() *simtime.Rand {
 	return nil
 }
 
+// measureFA measures the Foreign-Agent (macro/root) cells at pos into dst.
+// Without shadowing the topology grid restricts the scan to cells whose
+// range can reach pos; with shadowing every FA cell is measured in id
+// order so the rng draw sequence stays position-independent.
+func (s *scenario) measureFA(dst []radio.Signal, faCells []*topology.Cell, pos geo.Point, rng *simtime.Rand) []radio.Signal {
+	dst = dst[:0]
+	if rng != nil {
+		for _, c := range faCells {
+			dst = append(dst, radio.MeasureAt(int(c.ID), c.Radio, c.Pos, pos, rng))
+		}
+		return dst
+	}
+	for _, id := range s.top.Nearby(pos) {
+		c := s.top.Cells[id]
+		if c.Tier != topology.TierMacro && c.Tier != topology.TierRoot {
+			continue
+		}
+		dst = append(dst, radio.MeasureAt(int(c.ID), c.Radio, c.Pos, pos, nil))
+	}
+	return dst
+}
+
 // ---------------------------------------------------------------------------
 // Scheme: plain Mobile IP (one FA per macro-class cell)
 
@@ -295,11 +317,9 @@ func (s *scenario) runMobileIP() error {
 		s.startTraffic(i, home, s.rng.Fork())
 
 		current := topology.NoCell
+		var sigs []radio.Signal // per-driver scratch, reused every tick
 		s.driver(i, func(pos geo.Point, speed float64) {
-			sigs := make([]radio.Signal, 0, len(faCells))
-			for _, c := range faCells {
-				sigs = append(sigs, radio.MeasureAt(int(c.ID), c.Radio, c.Pos, pos, measure))
-			}
+			sigs = s.measureFA(sigs, faCells, pos, measure)
 			best := topology.CellID(sel.Best(int(current), sigs))
 			if best == topology.NoCell || best == current {
 				return
@@ -366,8 +386,9 @@ func (s *scenario) runCellularIP(semisoft bool) error {
 		s.startTraffic(i, ip, s.rng.Fork())
 
 		current := topology.NoCell
+		var sigs []radio.Signal // per-driver scratch, reused every tick
 		s.driver(i, func(pos geo.Point, speed float64) {
-			sigs := s.top.Signals(pos, measure)
+			sigs = s.top.MeasureInto(sigs, pos, measure)
 			best := topology.CellID(sel.Best(int(current), sigs))
 			if best == topology.NoCell || best == current {
 				return

@@ -75,6 +75,29 @@ func (o Options) scale(d time.Duration) time.Duration {
 	return out
 }
 
+// plan is one experiment's deferred execution: the scenario batch plus
+// the function that turns the batch's results into the printed table.
+// Splitting planning from rendering lets All flatten every experiment's
+// jobs into one global worker-pool batch (so narrow experiments no
+// longer serialise the pool) while single-experiment entry points run
+// their own small batch — with identical seeds either way.
+type plan struct {
+	// num is the experiment number; it offsets the base seed so
+	// experiments draw disjoint seed streams.
+	num    int
+	jobs   []runner.Job
+	render func([]runner.JobResult) (*Table, error)
+}
+
+// seeds returns the per-replication seed stream the experiment's jobs
+// use: paired (common random numbers) within the experiment, offset by
+// the experiment number — the same derivation execute's Paired batch
+// applies, via the shared runner.PairedSeeds helper so the two can
+// never drift apart.
+func (p plan) seeds(o Options) []int64 {
+	return runner.PairedSeeds(o.Seed+int64(p.num), o.Reps)
+}
+
 // execute runs the experiment's job list through the worker pool. The
 // base seed is offset per experiment so experiments draw disjoint seed
 // streams, and replications are paired (common random numbers): every
@@ -93,6 +116,15 @@ func (o Options) execute(experiment int, jobs []runner.Job) ([]runner.JobResult,
 		return nil, fmt.Errorf("E%d: %w", experiment, err)
 	}
 	return res, nil
+}
+
+// run executes a single experiment's plan on its own batch.
+func (o Options) run(p plan) (*Table, error) {
+	res, err := o.execute(p.num, p.jobs)
+	if err != nil {
+		return nil, err
+	}
+	return p.render(res)
 }
 
 // oneRoot is the topology on which every scheme is well defined.
@@ -118,41 +150,47 @@ func E1MobileIPProcedures(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:     "E1",
-		Title:  "Mobile IP procedures (Fig 2.2): registration latency and tunnel overhead",
-		Header: []string{"metric", "value"},
-	}
+	return opt.run(e1Plan(opt))
+}
+
+func e1Plan(opt Options) plan {
 	cfg := core.DefaultConfig()
 	cfg.Scheme = core.SchemeMobileIP
 	cfg.Topology = oneRoot()
 	cfg.Duration = opt.scale(30 * time.Second)
 	cfg.NumMNs = 4
 	cfg.Mobility = core.MobilityStatic
-	res, err := opt.execute(1, []runner.Job{{Label: "mip-procedures", Config: cfg}})
-	if err != nil {
-		return nil, err
-	}
-	r := res[0]
-	t.AddRow("registration latency (mean)", fmtStatDur(r.HistMean("mip.registration.latency")))
-	t.AddRow("registration latency (p95)", fmtStatDur(r.HistQuantile("mip.registration.latency", 0.95)))
-	t.AddRow("registrations", fmtStatI(r.HistCount("mip.registration.latency")))
-	intercepts := r.Counter("mip.ha.intercepts")
-	t.AddRow("HA intercepts (tunnelled packets)", fmtStatI(intercepts))
-	if intercepts.Mean > 0 {
-		overhead := r.Stat(func(res *core.Result) float64 {
-			n := res.Registry.Counter("mip.ha.intercepts").Value()
-			if n == 0 {
-				return 0
+	return plan{
+		num:  1,
+		jobs: []runner.Job{{Label: "mip-procedures", Config: cfg}},
+		render: func(res []runner.JobResult) (*Table, error) {
+			t := &Table{
+				ID:     "E1",
+				Title:  "Mobile IP procedures (Fig 2.2): registration latency and tunnel overhead",
+				Header: []string{"metric", "value"},
 			}
-			return float64(res.Registry.Counter("mip.tunnel.overhead_bytes").Value() / n)
-		})
-		t.AddRow("tunnel overhead per packet", fmtStatB(overhead))
+			r := res[0]
+			t.AddRow("registration latency (mean)", fmtStatDur(r.HistMean("mip.registration.latency")))
+			t.AddRow("registration latency (p95)", fmtStatDur(r.HistQuantile("mip.registration.latency", 0.95)))
+			t.AddRow("registrations", fmtStatI(r.HistCount("mip.registration.latency")))
+			intercepts := r.Counter("mip.ha.intercepts")
+			t.AddRow("HA intercepts (tunnelled packets)", fmtStatI(intercepts))
+			if intercepts.Mean > 0 {
+				overhead := r.Stat(func(res *core.Result) float64 {
+					n := res.Registry.Counter("mip.ha.intercepts").Value()
+					if n == 0 {
+						return 0
+					}
+					return float64(res.Registry.Counter("mip.tunnel.overhead_bytes").Value() / n)
+				})
+				t.AddRow("tunnel overhead per packet", fmtStatB(overhead))
+			}
+			t.AddRow("delivery loss", fmtStatPct(r.LossRate()))
+			t.AddRow("signaling messages", fmtStatI(r.SignalingMsgs()))
+			t.AddNote("static MNs: losses, if any, come from registration windows only")
+			return t, nil
+		},
 	}
-	t.AddRow("delivery loss", fmtStatPct(r.LossRate()))
-	t.AddRow("signaling messages", fmtStatI(r.SignalingMsgs()))
-	t.AddNote("static MNs: losses, if any, come from registration windows only")
-	return t, nil
 }
 
 // E2CellularIPHandoff reproduces Fig 2.3/2.4: hard vs semisoft handoff
@@ -162,11 +200,10 @@ func E2CellularIPHandoff(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:     "E2",
-		Title:  "Cellular IP handoff (Fig 2.4): hard vs semisoft loss",
-		Header: []string{"speed", "scheme", "handoffs", "loss", "stale drops", "bicast dups"},
-	}
+	return opt.run(e2Plan(opt))
+}
+
+func e2Plan(opt Options) plan {
 	type meta struct {
 		speed  float64
 		scheme core.Scheme
@@ -186,20 +223,27 @@ func E2CellularIPHandoff(opt Options) (*Table, error) {
 			metas = append(metas, meta{speed, scheme})
 		}
 	}
-	res, err := opt.execute(2, jobs)
-	if err != nil {
-		return nil, err
+	return plan{
+		num:  2,
+		jobs: jobs,
+		render: func(res []runner.JobResult) (*Table, error) {
+			t := &Table{
+				ID:     "E2",
+				Title:  "Cellular IP handoff (Fig 2.4): hard vs semisoft loss",
+				Header: []string{"speed", "scheme", "handoffs", "loss", "stale drops", "bicast dups"},
+			}
+			for i, r := range res {
+				m := metas[i]
+				t.AddRow(fmtF(m.speed)+" m/s", string(m.scheme),
+					fmtStatI(r.Handoffs()),
+					fmtStatPct(r.LossRate()),
+					fmtStatI(r.Counter("cip.stale_air_drops")),
+					fmtStatI(r.Counter("cip.bicast_duplicates")))
+			}
+			t.AddNote("expected shape: semisoft ~zero loss at every speed; hard loses one crossover window per handoff")
+			return t, nil
+		},
 	}
-	for i, r := range res {
-		m := metas[i]
-		t.AddRow(fmtF(m.speed)+" m/s", string(m.scheme),
-			fmtStatI(r.Handoffs()),
-			fmtStatPct(r.LossRate()),
-			fmtStatI(r.Counter("cip.stale_air_drops")),
-			fmtStatI(r.Counter("cip.bicast_duplicates")))
-	}
-	t.AddNote("expected shape: semisoft ~zero loss at every speed; hard loses one crossover window per handoff")
-	return t, nil
 }
 
 // E3LocationManagement reproduces Fig 3.1's hierarchical tables:
@@ -209,11 +253,10 @@ func E3LocationManagement(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:     "E3",
-		Title:  "Location management (Fig 3.1): signalling vs population; table TTL ablation",
-		Header: []string{"MNs", "table TTL", "location msgs/s", "control B/s", "loss", "pages"},
-	}
+	return opt.run(e3Plan(opt))
+}
+
+func e3Plan(opt Options) plan {
 	dur := opt.scale(time.Minute)
 	type meta struct {
 		n     int
@@ -241,20 +284,27 @@ func E3LocationManagement(opt Options) (*Table, error) {
 	for _, ttl := range []time.Duration{500 * time.Millisecond, 3 * time.Second, 10 * time.Second} {
 		add(8, ttl, ttl.String())
 	}
-	res, err := opt.execute(3, jobs)
-	if err != nil {
-		return nil, err
+	return plan{
+		num:  3,
+		jobs: jobs,
+		render: func(res []runner.JobResult) (*Table, error) {
+			t := &Table{
+				ID:     "E3",
+				Title:  "Location management (Fig 3.1): signalling vs population; table TTL ablation",
+				Header: []string{"MNs", "table TTL", "location msgs/s", "control B/s", "loss", "pages"},
+			}
+			for i, r := range res {
+				m := metas[i]
+				t.AddRow(fmtI(m.n), m.label,
+					fmtStatF(perSecond(r, "tier.location_msgs")),
+					fmtStatF(perSecond(r, "tier.control_bytes")),
+					fmtStatPct(r.LossRate()),
+					fmtStatI(r.Counter("tier.pages")))
+			}
+			t.AddNote("signalling grows linearly with population; TTL below the refresh interval forces pages")
+			return t, nil
+		},
 	}
-	for i, r := range res {
-		m := metas[i]
-		t.AddRow(fmtI(m.n), m.label,
-			fmtStatF(perSecond(r, "tier.location_msgs")),
-			fmtStatF(perSecond(r, "tier.control_bytes")),
-			fmtStatPct(r.LossRate()),
-			fmtStatI(r.Counter("tier.pages")))
-	}
-	t.AddNote("signalling grows linearly with population; TTL below the refresh interval forces pages")
-	return t, nil
 }
 
 // E4InterDomain reproduces Figs 3.2/3.3: the cost gap between same-upper
@@ -264,11 +314,10 @@ func E4InterDomain(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:     "E4",
-		Title:  "Inter-domain handoff (Figs 3.2/3.3): same vs different upper BS",
-		Header: []string{"workload", "same-upper", "diff-upper", "intra", "adm lat", "HA regs", "redirects", "loss"},
-	}
+	return opt.run(e4Plan(opt))
+}
+
+func e4Plan(opt Options) plan {
 	type meta struct{ label string }
 	var jobs []runner.Job
 	var metas []meta
@@ -289,27 +338,34 @@ func E4InterDomain(opt Options) (*Table, error) {
 	// Slow MNs camp on macro cells and cross domain boundaries under the
 	// shared root (Fig 3.2: same upper BS, no home involvement).
 	add(11, "slow (11 m/s)")
-	res, err := opt.execute(4, jobs)
-	if err != nil {
-		return nil, err
+	return plan{
+		num:  4,
+		jobs: jobs,
+		render: func(res []runner.JobResult) (*Table, error) {
+			t := &Table{
+				ID:     "E4",
+				Title:  "Inter-domain handoff (Figs 3.2/3.3): same vs different upper BS",
+				Header: []string{"workload", "same-upper", "diff-upper", "intra", "adm lat", "HA regs", "redirects", "loss"},
+			}
+			for i, r := range res {
+				intra := r.Stat(func(res *core.Result) float64 {
+					return float64(res.Registry.Counter("tier.handoffs.intra/micro-macro").Value() +
+						res.Registry.Counter("tier.handoffs.intra/macro-micro").Value() +
+						res.Registry.Counter("tier.handoffs.intra/micro-micro").Value())
+				})
+				t.AddRow(metas[i].label,
+					fmtStatI(r.Counter("tier.handoffs.inter/same-upper")),
+					fmtStatI(r.Counter("tier.handoffs.inter/diff-upper")),
+					fmtStatI(intra),
+					fmtStatDur(r.HistMean("tier.handoff.latency")),
+					fmtStatI(r.Counter("tier.anchor.registrations")),
+					fmtStatI(r.Counter("tier.redirects")),
+					fmtStatPct(r.LossRate()))
+			}
+			t.AddNote("only diff-upper handoffs register with the home network; same-upper re-points the shared root")
+			return t, nil
+		},
 	}
-	for i, r := range res {
-		intra := r.Stat(func(res *core.Result) float64 {
-			return float64(res.Registry.Counter("tier.handoffs.intra/micro-macro").Value() +
-				res.Registry.Counter("tier.handoffs.intra/macro-micro").Value() +
-				res.Registry.Counter("tier.handoffs.intra/micro-micro").Value())
-		})
-		t.AddRow(metas[i].label,
-			fmtStatI(r.Counter("tier.handoffs.inter/same-upper")),
-			fmtStatI(r.Counter("tier.handoffs.inter/diff-upper")),
-			fmtStatI(intra),
-			fmtStatDur(r.HistMean("tier.handoff.latency")),
-			fmtStatI(r.Counter("tier.anchor.registrations")),
-			fmtStatI(r.Counter("tier.redirects")),
-			fmtStatPct(r.LossRate()))
-	}
-	t.AddNote("only diff-upper handoffs register with the home network; same-upper re-points the shared root")
-	return t, nil
 }
 
 // E5IntraDomain reproduces Fig 3.4: the three intra-domain cases.
@@ -318,11 +374,10 @@ func E5IntraDomain(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:     "E5",
-		Title:  "Intra-domain handoff (Fig 3.4): micro-micro / micro-macro / macro-micro",
-		Header: []string{"workload", "micro-micro", "micro-macro", "macro-micro", "loss", "drained"},
-	}
+	return opt.run(e5Plan(opt))
+}
+
+func e5Plan(opt Options) plan {
 	type meta struct{ label string }
 	var jobs []runner.Job
 	var metas []meta
@@ -342,20 +397,27 @@ func E5IntraDomain(opt Options) (*Table, error) {
 	// Fig 3.4 cases a+b: shuttle between a micro centre and the macro
 	// centre — repeatedly leaving and re-entering micro coverage.
 	add(core.MobilityShuttleTier, 10, "tier shuttle (10 m/s)")
-	res, err := opt.execute(5, jobs)
-	if err != nil {
-		return nil, err
+	return plan{
+		num:  5,
+		jobs: jobs,
+		render: func(res []runner.JobResult) (*Table, error) {
+			t := &Table{
+				ID:     "E5",
+				Title:  "Intra-domain handoff (Fig 3.4): micro-micro / micro-macro / macro-micro",
+				Header: []string{"workload", "micro-micro", "micro-macro", "macro-micro", "loss", "drained"},
+			}
+			for i, r := range res {
+				t.AddRow(metas[i].label,
+					fmtStatI(r.Counter("tier.handoffs.intra/micro-micro")),
+					fmtStatI(r.Counter("tier.handoffs.intra/micro-macro")),
+					fmtStatI(r.Counter("tier.handoffs.intra/macro-micro")),
+					fmtStatPct(r.LossRate()),
+					fmtStatI(r.Counter("tier.rs.drained")))
+			}
+			t.AddNote("row 1 exercises case c (micro→micro); row 2 alternates cases b and a (micro→macro→micro)")
+			return t, nil
+		},
 	}
-	for i, r := range res {
-		t.AddRow(metas[i].label,
-			fmtStatI(r.Counter("tier.handoffs.intra/micro-micro")),
-			fmtStatI(r.Counter("tier.handoffs.intra/micro-macro")),
-			fmtStatI(r.Counter("tier.handoffs.intra/macro-micro")),
-			fmtStatPct(r.LossRate()),
-			fmtStatI(r.Counter("tier.rs.drained")))
-	}
-	t.AddNote("row 1 exercises case c (micro→micro); row 2 alternates cases b and a (micro→macro→micro)")
-	return t, nil
 }
 
 // E6SchemeComparison is the headline comparison behind §4's claims.
@@ -364,11 +426,10 @@ func E6SchemeComparison(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:     "E6",
-		Title:  "Scheme comparison (Fig 4.1 claims): loss / latency / signalling per scheme",
-		Header: []string{"speed", "scheme", "loss", "mean delay", "p95 delay", "handoffs", "signal msgs"},
-	}
+	return opt.run(e6Plan(opt))
+}
+
+func e6Plan(opt Options) plan {
 	type meta struct {
 		speed  float64
 		scheme core.Scheme
@@ -389,21 +450,28 @@ func E6SchemeComparison(opt Options) (*Table, error) {
 			metas = append(metas, meta{speed, scheme})
 		}
 	}
-	res, err := opt.execute(6, jobs)
-	if err != nil {
-		return nil, err
+	return plan{
+		num:  6,
+		jobs: jobs,
+		render: func(res []runner.JobResult) (*Table, error) {
+			t := &Table{
+				ID:     "E6",
+				Title:  "Scheme comparison (Fig 4.1 claims): loss / latency / signalling per scheme",
+				Header: []string{"speed", "scheme", "loss", "mean delay", "p95 delay", "handoffs", "signal msgs"},
+			}
+			for i, r := range res {
+				m := metas[i]
+				t.AddRow(fmtF(m.speed), string(m.scheme),
+					fmtStatPct(r.LossRate()),
+					fmtStatDur(r.MeanLatency()),
+					fmtStatDur(r.P95Latency()),
+					fmtStatI(r.Handoffs()),
+					fmtStatI(r.SignalingMsgs()))
+			}
+			t.AddNote("expected shape: multitier-rsmc <= cip-semisoft < cip-hard < mobile-ip on loss")
+			return t, nil
+		},
 	}
-	for i, r := range res {
-		m := metas[i]
-		t.AddRow(fmtF(m.speed), string(m.scheme),
-			fmtStatPct(r.LossRate()),
-			fmtStatDur(r.MeanLatency()),
-			fmtStatDur(r.P95Latency()),
-			fmtStatI(r.Handoffs()),
-			fmtStatI(r.SignalingMsgs()))
-	}
-	t.AddNote("expected shape: multitier-rsmc <= cip-semisoft < cip-hard < mobile-ip on loss")
-	return t, nil
 }
 
 // E7ResourceSwitching isolates §4's "resource switching management to
@@ -413,11 +481,10 @@ func E7ResourceSwitching(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:     "E7",
-		Title:  "Resource switching (§4): buffering vs loss; guard channels",
-		Header: []string{"resource switching", "guard", "loss", "buffered", "drained", "stale drops", "rejects"},
-	}
+	return opt.run(e7Plan(opt))
+}
+
+func e7Plan(opt Options) plan {
 	type meta struct {
 		rs    bool
 		guard int
@@ -440,21 +507,28 @@ func E7ResourceSwitching(opt Options) (*Table, error) {
 			metas = append(metas, meta{rs, guard})
 		}
 	}
-	res, err := opt.execute(7, jobs)
-	if err != nil {
-		return nil, err
+	return plan{
+		num:  7,
+		jobs: jobs,
+		render: func(res []runner.JobResult) (*Table, error) {
+			t := &Table{
+				ID:     "E7",
+				Title:  "Resource switching (§4): buffering vs loss; guard channels",
+				Header: []string{"resource switching", "guard", "loss", "buffered", "drained", "stale drops", "rejects"},
+			}
+			for i, r := range res {
+				m := metas[i]
+				t.AddRow(fmt.Sprintf("%v", m.rs), fmtI(m.guard),
+					fmtStatPct(r.LossRate()),
+					fmtStatI(r.Counter("tier.rs.buffered")),
+					fmtStatI(r.Counter("tier.rs.drained")),
+					fmtStatI(r.Counter("tier.stale_air_drops")),
+					fmtStatI(r.Counter("tier.handoff.rejects")))
+			}
+			t.AddNote("with switching on, in-flight packets are buffered and drained instead of dropped")
+			return t, nil
+		},
 	}
-	for i, r := range res {
-		m := metas[i]
-		t.AddRow(fmt.Sprintf("%v", m.rs), fmtI(m.guard),
-			fmtStatPct(r.LossRate()),
-			fmtStatI(r.Counter("tier.rs.buffered")),
-			fmtStatI(r.Counter("tier.rs.drained")),
-			fmtStatI(r.Counter("tier.stale_air_drops")),
-			fmtStatI(r.Counter("tier.handoff.rejects")))
-	}
-	t.AddNote("with switching on, in-flight packets are buffered and drained instead of dropped")
-	return t, nil
 }
 
 // E8PagingAndRSMCLoad measures idle-mode signalling and RSMC load (§4:
@@ -464,11 +538,10 @@ func E8PagingAndRSMCLoad(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:     "E8",
-		Title:  "Paging and RSMC load (§2.2.2, §4): idle vs active signalling",
-		Header: []string{"MNs", "mode", "signal msgs/s", "pages", "page broadcasts", "RSMC ops/s"},
-	}
+	return opt.run(e8Plan(opt))
+}
+
+func e8Plan(opt Options) plan {
 	dur := opt.scale(2 * time.Minute)
 	type meta struct {
 		n    int
@@ -497,55 +570,83 @@ func E8PagingAndRSMCLoad(opt Options) (*Table, error) {
 			metas = append(metas, meta{n, mode})
 		}
 	}
-	res, err := opt.execute(8, jobs)
-	if err != nil {
-		return nil, err
-	}
-	for i, r := range res {
-		m := metas[i]
-		rsmcRate := r.Stat(func(res *core.Result) float64 {
-			var ops uint64
-			for d := 0; d < 8; d++ {
-				ops += res.Registry.Counter(fmt.Sprintf("rsmc.%d.operations", d)).Value()
+	return plan{
+		num:  8,
+		jobs: jobs,
+		render: func(res []runner.JobResult) (*Table, error) {
+			t := &Table{
+				ID:     "E8",
+				Title:  "Paging and RSMC load (§2.2.2, §4): idle vs active signalling",
+				Header: []string{"MNs", "mode", "signal msgs/s", "pages", "page broadcasts", "RSMC ops/s"},
 			}
-			return float64(ops) / res.Config.Duration.Seconds()
-		})
-		sigRate := r.Stat(func(res *core.Result) float64 {
-			return float64(res.Summary.SignalingMsgs) / res.Config.Duration.Seconds()
-		})
-		t.AddRow(fmtI(m.n), m.mode,
-			fmtStatF(sigRate),
-			fmtStatI(r.Counter("tier.pages")),
-			fmtStatI(r.Counter("tier.page_broadcasts")),
-			fmtStatF(rsmcRate))
+			for i, r := range res {
+				m := metas[i]
+				rsmcRate := r.Stat(func(res *core.Result) float64 {
+					var ops uint64
+					for d := 0; d < 8; d++ {
+						ops += res.Registry.Counter(fmt.Sprintf("rsmc.%d.operations", d)).Value()
+					}
+					return float64(ops) / res.Config.Duration.Seconds()
+				})
+				sigRate := r.Stat(func(res *core.Result) float64 {
+					return float64(res.Summary.SignalingMsgs) / res.Config.Duration.Seconds()
+				})
+				t.AddRow(fmtI(m.n), m.mode,
+					fmtStatF(sigRate),
+					fmtStatI(r.Counter("tier.pages")),
+					fmtStatI(r.Counter("tier.page_broadcasts")),
+					fmtStatF(rsmcRate))
+			}
+			t.AddNote("idle mode trades paging floods on arrival for a ~10x lower signalling rate")
+			return t, nil
+		},
 	}
-	t.AddNote("idle mode trades paging floods on arrival for a ~10x lower signalling rate")
-	return t, nil
 }
 
-// All runs every experiment in order. Each experiment's scenario batch
-// executes through the shared worker pool, so the suite parallelises
-// within experiments while the tables keep their order.
+// plans builds every experiment's plan in suite order.
+func plans(opt Options) []plan {
+	return []plan{
+		e1Plan(opt), e2Plan(opt), e3Plan(opt), e4Plan(opt),
+		e5Plan(opt), e6Plan(opt), e7Plan(opt), e8Plan(opt),
+	}
+}
+
+// All runs every experiment in order. The whole suite is flattened into
+// one global worker-pool batch: every scenario of every experiment is in
+// flight together, so narrow experiments (E1's single job, E4/E5's pairs)
+// no longer serialise the pool behind wide ones. Each job pins the seeds
+// its experiment would derive on its own, so the flattened suite renders
+// byte-identical tables to per-experiment execution at any worker count.
 func All(opt Options) ([]*Table, error) {
 	opt, err := opt.normalized()
 	if err != nil {
 		return nil, err
 	}
-	runs := []func(Options) (*Table, error){
-		E1MobileIPProcedures,
-		E2CellularIPHandoff,
-		E3LocationManagement,
-		E4InterDomain,
-		E5IntraDomain,
-		E6SchemeComparison,
-		E7ResourceSwitching,
-		E8PagingAndRSMCLoad,
+	ps := plans(opt)
+	var flat []runner.Job
+	for _, p := range ps {
+		seeds := p.seeds(opt)
+		for _, j := range p.jobs {
+			j.Seeds = seeds
+			flat = append(flat, j)
+		}
 	}
-	out := make([]*Table, 0, len(runs))
-	for _, run := range runs {
-		tbl, err := run(opt)
-		if err != nil {
-			return out, err
+	res, err := runner.Run(flat, runner.Options{
+		BaseSeed: opt.Seed,
+		Reps:     opt.Reps,
+		Parallel: opt.Parallel,
+	})
+	out := make([]*Table, 0, len(ps))
+	if err != nil {
+		return out, fmt.Errorf("suite: %w", err)
+	}
+	idx := 0
+	for _, p := range ps {
+		sub := res[idx : idx+len(p.jobs)]
+		idx += len(p.jobs)
+		tbl, rerr := p.render(sub)
+		if rerr != nil {
+			return out, rerr
 		}
 		out = append(out, tbl)
 	}

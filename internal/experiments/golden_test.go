@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden suite pins the byte-exact output of the full E1–E8 suite at a
+// fixed seed. Its job is to prove that engine optimizations (event arena,
+// spatial grid, packet free-list) are behaviour-preserving: any change to
+// event ordering, RNG draw sequence, or packet accounting shows up as a
+// table diff. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenSuite -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_suite.txt from the current engine")
+
+const goldenPath = "testdata/golden_suite.txt"
+
+func goldenOptions() Options {
+	return Options{Seed: 7, TimeScale: 0.05, Reps: 2, Parallel: 1}
+}
+
+func renderTables(tables []*Table) string {
+	var b strings.Builder
+	for _, tbl := range tables {
+		b.WriteString(tbl.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestGoldenSuiteByteIdentical(t *testing.T) {
+	tables, err := All(goldenOptions())
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	got := renderTables(tables)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("suite output diverged from golden.\nFirst diff at byte %d.\ngot:\n%s\nwant:\n%s",
+			firstDiff(got, string(want)), got, want)
+	}
+}
+
+// TestGoldenSuiteParallelMatches proves the worker pool does not perturb
+// results: the same options on many workers must render the same bytes as
+// the sequential golden run.
+func TestGoldenSuiteParallelMatches(t *testing.T) {
+	opt := goldenOptions()
+	seq, err := All(opt)
+	if err != nil {
+		t.Fatalf("sequential All: %v", err)
+	}
+	opt.Parallel = 8
+	par, err := All(opt)
+	if err != nil {
+		t.Fatalf("parallel All: %v", err)
+	}
+	if s, p := renderTables(seq), renderTables(par); s != p {
+		t.Fatalf("parallel suite diverged from sequential at byte %d", firstDiff(s, p))
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -133,14 +133,15 @@ func (fa *ForeignAgent) Receive(pkt *packet.Packet, from *netsim.Node, link *net
 	switch {
 	case pkt.Proto == packet.ProtoMobileIP && link == nil:
 		// Over-the-air control from a visitor: a registration request to
-		// relay (step 1b).
+		// relay (step 1b). The relayed copy is a fresh packet, so the
+		// original is terminal here.
 		msg, err := ParseMessage(pkt.Payload)
-		if err != nil {
-			return
+		if err == nil {
+			if req, ok := msg.(*RegistrationRequest); ok {
+				fa.RelayRegistration(req)
+			}
 		}
-		if req, ok := msg.(*RegistrationRequest); ok {
-			fa.RelayRegistration(req)
-		}
+		packet.Release(pkt)
 	case pkt.Proto == packet.ProtoMobileIP && fa.node.HasAddr(pkt.Dst):
 		// Wired control: a registration reply to relay down to the
 		// visitor (step 1c).
@@ -149,6 +150,7 @@ func (fa *ForeignAgent) Receive(pkt *packet.Packet, from *netsim.Node, link *net
 		fa.deliverTunnelled(pkt)
 	case fa.node.HasAddr(pkt.Dst):
 		// Addressed to us but nothing we handle: consumed.
+		packet.Release(pkt)
 	default:
 		fa.router.Forward(pkt)
 	}
@@ -157,36 +159,46 @@ func (fa *ForeignAgent) Receive(pkt *packet.Packet, from *netsim.Node, link *net
 func (fa *ForeignAgent) relayReply(pkt *packet.Packet) {
 	msg, err := ParseMessage(pkt.Payload)
 	if err != nil {
+		packet.Release(pkt)
 		return
 	}
 	reply, ok := msg.(*RegistrationReply)
 	if !ok {
+		packet.Release(pkt)
 		return
 	}
 	v, ok := fa.visitors[reply.Home]
 	if !ok {
-		// Visitor left while the reply was in flight.
+		// Visitor left while the reply was in flight. Drop releases.
 		fa.node.Network().Drop(fa.node, pkt, metrics.DropStale)
 		if fa.stats != nil {
 			fa.stats.StaleAtFA.Inc()
 		}
 		return
 	}
+	// The downlink copy shares the payload bytes; releasing the wired
+	// packet only drops its reference.
 	down := packet.NewControl(fa.node.Addr(), reply.Home, packet.ProtoMobileIP, pkt.Payload)
 	if fa.stats != nil {
 		fa.stats.Signaling.Inc()
 		fa.stats.SignalingBytes.Add(uint64(down.Size()))
 	}
 	_ = fa.node.Network().DeliverDirect(fa.node, v.node, down, fa.AirDelay, fa.AirLoss)
+	packet.Release(pkt)
 }
 
 // deliverTunnelled de-tunnels a packet from the HA and hands it to the
-// visitor over the air (Fig 2.2 step 2a, FA side).
+// visitor over the air (Fig 2.2 step 2a, FA side). The tunnel wrapper is
+// terminal here: the inner packet is detached before the wrapper is
+// released, then travels on alone.
 func (fa *ForeignAgent) deliverTunnelled(pkt *packet.Packet) {
 	inner, err := pkt.Decapsulate()
 	if err != nil {
+		packet.Release(pkt)
 		return
 	}
+	pkt.Inner = nil
+	packet.Release(pkt)
 	v, ok := fa.visitors[inner.Dst]
 	if !ok {
 		// The mobile node moved on: Mobile IP drops the packet here. This

@@ -109,12 +109,16 @@ func (ha *HomeAgent) Receive(pkt *packet.Packet, from *netsim.Node, link *netsim
 		ha.intercept(pkt)
 	case ha.node.HasAddr(pkt.Dst):
 		// Addressed to us but not Mobile IP control: consumed silently.
+		packet.Release(pkt)
 	default:
 		ha.router.Forward(pkt)
 	}
 }
 
+// handleControl consumes a registration request: the reply is a fresh
+// packet, so the request is terminal here and released on every path.
 func (ha *HomeAgent) handleControl(pkt *packet.Packet) {
+	defer packet.Release(pkt)
 	msg, err := ParseMessage(pkt.Payload)
 	if err != nil {
 		return // malformed control is silently dropped, as in real stacks

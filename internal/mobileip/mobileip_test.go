@@ -82,7 +82,7 @@ func newTestbed(t *testing.T) *testbed {
 	mnNode := tb.net.NewNode("mn")
 	tb.mn = NewMobileNode(mnNode, addr.MustParse("172.16.0.5"), addr.MustParse("172.16.0.1"),
 		DefaultMNConfig(), tb.stats)
-	tb.mn.OnData = func(p *packet.Packet) { tb.mnGot = append(tb.mnGot, p) }
+	tb.mn.OnData = func(p *packet.Packet) { tb.mnGot = append(tb.mnGot, p.Clone()) }
 	return tb
 }
 

@@ -49,8 +49,8 @@ type MobileNode struct {
 	pendingID  uint64
 	sentAt     time.Duration
 	retries    int
-	retryEvt   *simtime.Event
-	renewEvt   *simtime.Event
+	retryEvt   simtime.Event
+	renewEvt   simtime.Event
 
 	// OnData is invoked for every data packet delivered to the node.
 	OnData func(p *packet.Packet)
@@ -181,17 +181,16 @@ func (mn *MobileNode) onRetryTimer(careOf addr.IP) {
 }
 
 func (mn *MobileNode) cancelTimers() {
-	if mn.retryEvt != nil {
-		mn.retryEvt.Cancel()
-	}
-	if mn.renewEvt != nil {
-		mn.renewEvt.Cancel()
-	}
+	mn.retryEvt.Cancel()
+	mn.renewEvt.Cancel()
 }
 
 // Receive implements netsim.Handler: data packets go to OnData,
-// registration replies complete the state machine.
+// registration replies complete the state machine. The mobile node is a
+// terminal receiver: every delivered packet is released after handling
+// (OnData consumers that need the packet past the callback must Clone).
 func (mn *MobileNode) Receive(pkt *packet.Packet, from *netsim.Node, link *netsim.Link) {
+	defer packet.Release(pkt)
 	if pkt.Proto != packet.ProtoMobileIP {
 		if mn.OnData != nil {
 			mn.OnData(pkt)

@@ -1,0 +1,36 @@
+package multitier
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// One steady-state measurement tick — grid-restricted signal measurement
+// into the per-MN scratch, the three-factor decision, and the admission
+// probes — must be allocation-free once the MN is camped and no handoff
+// is triggered. This is the per-MN-per-tick cost that dominates large
+// populations, so the budget is asserted.
+func TestEvaluateTickAllocFree(t *testing.T) {
+	b := newTierBed(t, nil)
+	micro := b.top.CellsOfTier(topology.TierMicro)[0]
+	pos := micro.Pos
+
+	b.mn.Evaluate(pos, 1.0)
+	if err := b.sched.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if b.mn.ServingCell() == topology.NoCell {
+		t.Fatal("MN failed to camp before the measurement-tick test")
+	}
+	b.mn.Evaluate(pos, 1.0) // settle: same position, same target
+	if b.mn.pending != nil {
+		t.Fatal("unexpected pending handoff at a stable position")
+	}
+
+	avg := testing.AllocsPerRun(1000, func() { b.mn.Evaluate(pos, 1.0) })
+	if avg != 0 {
+		t.Fatalf("measurement tick allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -127,6 +127,34 @@ func DefaultPolicy() Policy {
 // qos.CellResources.CanAdmit on the target base station.
 type ResourceProbe func(cell topology.CellID, handoff bool) bool
 
+// decisionScratch holds the reusable buffers of one decision engine
+// caller, so a steady-state Evaluate tick allocates nothing.
+type decisionScratch struct {
+	usable []radio.Signal
+	cands  []radio.Signal
+}
+
+// tierFilter selects which tiers a pick round considers.
+type tierFilter struct {
+	// exact, when not zero, admits only that tier.
+	exact topology.Tier
+	// macroClass admits macro+root (the fast-MN restriction).
+	macroClass bool
+	// any admits every tier.
+	any bool
+}
+
+func (f tierFilter) admits(t topology.Tier) bool {
+	switch {
+	case f.any:
+		return true
+	case f.macroClass:
+		return tierClass(t)
+	default:
+		return t == f.exact
+	}
+}
+
 // Choose picks the cell the MN should camp on. It returns
 // topology.NoCell when nothing is usable.
 //
@@ -141,8 +169,16 @@ type ResourceProbe func(cell topology.CellID, handoff bool) bool
 //     selector margin.
 func Choose(top *topology.Topology, current topology.CellID, signals []radio.Signal,
 	speedMPS float64, probe ResourceProbe, pol Policy) topology.CellID {
+	var sc decisionScratch
+	return sc.choose(top, current, signals, speedMPS, probe, pol)
+}
 
-	usable := make([]radio.Signal, 0, len(signals))
+// choose is the scratch-reusing form of Choose; Mobile keeps one
+// decisionScratch per MN so the per-tick decision allocates nothing.
+func (sc *decisionScratch) choose(top *topology.Topology, current topology.CellID,
+	signals []radio.Signal, speedMPS float64, probe ResourceProbe, pol Policy) topology.CellID {
+
+	usable := sc.usable[:0]
 	for _, s := range signals {
 		if !s.InRange || s.RSSIDBm < pol.Selector.MinRSSIDBm {
 			continue
@@ -152,45 +188,48 @@ func Choose(top *topology.Topology, current topology.CellID, signals []radio.Sig
 		}
 		usable = append(usable, s)
 	}
+	sc.usable = usable
 	if len(usable) == 0 {
 		return topology.NoCell
 	}
 
-	fast := speedMPS >= pol.MacroSpeedMPS
-	pick := func(filter func(topology.Tier) bool) topology.CellID {
-		cands := make([]radio.Signal, 0, len(usable))
-		for _, s := range usable {
-			if filter(top.TierOf(topology.CellID(s.Cell))) {
-				cands = append(cands, s)
-			}
-		}
-		if len(cands) == 0 {
-			return topology.NoCell
-		}
-		cur := int(topology.NoCell)
-		if current != topology.NoCell && filter(top.TierOf(current)) {
-			cur = int(current)
-		}
-		return topology.CellID(pol.Selector.Best(cur, cands))
-	}
-
-	if fast {
+	if speedMPS >= pol.MacroSpeedMPS {
 		// Fast MN: macro class if possible, otherwise whatever works.
-		if c := pick(tierClass); c != topology.NoCell {
+		if c := sc.pick(top, current, pol, tierFilter{macroClass: true}); c != topology.NoCell {
 			return c
 		}
-		return pick(func(topology.Tier) bool { return true })
+		return sc.pick(top, current, pol, tierFilter{any: true})
 	}
 	if pol.PreferSmallCells {
 		// Slow MN: smallest tier outward. Within a tier the selector's
 		// hysteresis still applies.
 		for _, tier := range []topology.Tier{topology.TierPico, topology.TierMicro, topology.TierMacro, topology.TierRoot} {
-			tier := tier
-			if c := pick(func(t topology.Tier) bool { return t == tier }); c != topology.NoCell {
+			if c := sc.pick(top, current, pol, tierFilter{exact: tier}); c != topology.NoCell {
 				return c
 			}
 		}
 		return topology.NoCell
 	}
-	return pick(func(topology.Tier) bool { return true })
+	return sc.pick(top, current, pol, tierFilter{any: true})
+}
+
+// pick runs the selector over the usable cells admitted by filter.
+func (sc *decisionScratch) pick(top *topology.Topology, current topology.CellID,
+	pol Policy, filter tierFilter) topology.CellID {
+
+	cands := sc.cands[:0]
+	for _, s := range sc.usable {
+		if filter.admits(top.TierOf(topology.CellID(s.Cell))) {
+			cands = append(cands, s)
+		}
+	}
+	sc.cands = cands
+	if len(cands) == 0 {
+		return topology.NoCell
+	}
+	cur := int(topology.NoCell)
+	if current != topology.NoCell && filter.admits(top.TierOf(current)) {
+		cur = int(current)
+	}
+	return topology.CellID(pol.Selector.Best(cur, cands))
 }

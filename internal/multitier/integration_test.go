@@ -100,7 +100,7 @@ func newTierBed(t *testing.T, stationCfg func(topology.Tier) StationConfig) *tie
 	// these tests are exact.
 	b.mn = NewMobile(mnNode, prof, b.top, b.dir, DefaultPolicy(), DefaultMobileConfig(),
 		nil, b.stats)
-	b.mn.OnData = func(p *packet.Packet) { b.mnGot = append(b.mnGot, p) }
+	b.mn.OnData = func(p *packet.Packet) { b.mnGot = append(b.mnGot, p.Clone()) }
 	return b
 }
 

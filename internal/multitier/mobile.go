@@ -45,7 +45,7 @@ type pendingHandoff struct {
 	target  topology.CellID
 	seq     uint32
 	sentAt  time.Duration
-	timeout *simtime.Event
+	timeout simtime.Event
 }
 
 // Mobile is the multi-tier mobile node: it runs the paper's MN-controlled
@@ -69,8 +69,14 @@ type Mobile struct {
 	nonce       uint64
 	state       HostState
 	locTicker   *simtime.Ticker
-	idleTimer   *simtime.Event
+	idleTimer   simtime.Event
 	dedupe      *dedup
+
+	// Per-MN scratch for the measurement/decision tick, so steady-state
+	// Evaluate calls allocate nothing.
+	sigScratch []radio.Signal
+	decScratch decisionScratch
+	probeFn    ResourceProbe // bound once in NewMobile
 
 	// OnData receives every unique data packet delivered to the MN.
 	OnData func(p *packet.Packet)
@@ -113,7 +119,18 @@ func NewMobile(node *netsim.Node, profile *Profile, top *topology.Topology, dir 
 	}
 	node.AddAddr(profile.Home)
 	node.SetHandler(m)
+	m.probeFn = m.probeResources
 	return m
+}
+
+// probeResources is the decision engine's third factor: can the candidate
+// cell admit this MN's flows?
+func (m *Mobile) probeResources(cell topology.CellID, handoff bool) bool {
+	st, err := m.dir.StationFor(cell)
+	if err != nil {
+		return false
+	}
+	return st.CanAdmit(m.profile.DemandBPS, handoff)
 }
 
 // dedup is a small FIFO-evicting duplicate filter (bicast and page floods
@@ -159,15 +176,9 @@ func (m *Mobile) State() HostState { return m.state }
 // target differs from the serving cell. The scheme driver calls this on
 // its measurement cadence.
 func (m *Mobile) Evaluate(pos geo.Point, speedMPS float64) {
-	signals := m.top.Signals(pos, m.rng)
-	probe := func(cell topology.CellID, handoff bool) bool {
-		st, err := m.dir.StationFor(cell)
-		if err != nil {
-			return false
-		}
-		return st.CanAdmit(m.profile.DemandBPS, handoff)
-	}
-	target := Choose(m.top, m.servingCell, signals, speedMPS, probe, m.pol)
+	m.sigScratch = m.top.MeasureInto(m.sigScratch, pos, m.rng)
+	signals := m.sigScratch
+	target := m.decScratch.choose(m.top, m.servingCell, signals, speedMPS, m.probeFn, m.pol)
 
 	if target == topology.NoCell {
 		if m.serving != nil && !m.stillCovered(signals) {
@@ -244,9 +255,7 @@ func (m *Mobile) requestHandoff(target topology.CellID, speedMPS float64) {
 func (m *Mobile) commitHandoff(reply *HandoffReply) {
 	p := m.pending
 	m.pending = nil
-	if p.timeout != nil {
-		p.timeout.Cancel()
-	}
+	p.timeout.Cancel()
 	newSt, err := m.dir.StationFor(p.target)
 	if err != nil {
 		return
@@ -317,15 +326,11 @@ func (m *Mobile) stopTickers() {
 	if m.locTicker != nil {
 		m.locTicker.Stop()
 	}
-	if m.idleTimer != nil {
-		m.idleTimer.Cancel()
-	}
+	m.idleTimer.Cancel()
 }
 
 func (m *Mobile) armIdleTimer() {
-	if m.idleTimer != nil {
-		m.idleTimer.Cancel()
-	}
+	m.idleTimer.Cancel()
 	m.idleTimer = m.sched.After(m.cfg.ActiveTimeout, m.goIdle)
 }
 
@@ -369,8 +374,10 @@ func (m *Mobile) SendData(pkt *packet.Packet) {
 	_ = m.node.Network().DeliverDirect(m.node, m.serving.Node(), pkt, m.cfg.AirDelay, m.cfg.AirLoss)
 }
 
-// Receive implements netsim.Handler.
+// Receive implements netsim.Handler. The MN is a terminal receiver and
+// releases every delivered packet after handling.
 func (m *Mobile) Receive(pkt *packet.Packet, from *netsim.Node, link *netsim.Link) {
+	defer packet.Release(pkt)
 	if pkt.Proto == packet.ProtoTier {
 		msg, err := ParseMessage(pkt.Payload)
 		if err != nil {
@@ -381,9 +388,7 @@ func (m *Mobile) Receive(pkt *packet.Packet, from *netsim.Node, link *netsim.Lin
 			return
 		}
 		if !reply.Accepted {
-			if m.pending.timeout != nil {
-				m.pending.timeout.Cancel()
-			}
+			m.pending.timeout.Cancel()
 			m.pending = nil
 			return
 		}

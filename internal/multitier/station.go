@@ -22,7 +22,7 @@ type forwardRec struct {
 	newCell  topology.CellID
 	expires  time.Duration
 	buf      *qos.SwitchBuffer
-	drainEvt *simtime.Event
+	drainEvt simtime.Event
 }
 
 // anchorReg tracks the root anchor's Mobile IP registration for one MN.
@@ -209,11 +209,7 @@ func (s *Station) Receive(pkt *packet.Packet, from *netsim.Node, link *netsim.Li
 // receiveAir handles packets from attached MNs.
 func (s *Station) receiveAir(pkt *packet.Packet, from *netsim.Node) {
 	if pkt.Proto == packet.ProtoTier {
-		msg, err := ParseMessage(pkt.Payload)
-		if err != nil {
-			return
-		}
-		s.handleControl(msg, pkt, s.cell.ID, from)
+		s.consumeControl(pkt, s.cell.ID, from)
 		return
 	}
 	s.forwardUp(pkt)
@@ -222,24 +218,29 @@ func (s *Station) receiveAir(pkt *packet.Packet, from *netsim.Node) {
 // receiveDown handles wired packets from the parent station.
 func (s *Station) receiveDown(pkt *packet.Packet) {
 	if pkt.Proto == packet.ProtoTier {
-		msg, err := ParseMessage(pkt.Payload)
-		if err != nil {
-			return
-		}
-		s.handleControl(msg, pkt, topology.NoCell, nil)
+		s.consumeControl(pkt, topology.NoCell, nil)
 		return
 	}
 	s.deliverDown(pkt)
 }
 
+// consumeControl parses and handles a multi-tier control packet. Stations
+// never forward the control packet itself — propagation wraps the payload
+// in a fresh packet — so the incoming packet is terminal here and is
+// released on every path.
+func (s *Station) consumeControl(pkt *packet.Packet, via topology.CellID, airFrom *netsim.Node) {
+	defer packet.Release(pkt)
+	msg, err := ParseMessage(pkt.Payload)
+	if err != nil {
+		return
+	}
+	s.handleControl(msg, pkt, via, airFrom)
+}
+
 // receiveUp handles wired packets from a child station.
 func (s *Station) receiveUp(pkt *packet.Packet, child *Station) {
 	if pkt.Proto == packet.ProtoTier {
-		msg, err := ParseMessage(pkt.Payload)
-		if err != nil {
-			return
-		}
-		s.handleControl(msg, pkt, child.cell.ID, nil)
+		s.consumeControl(pkt, child.cell.ID, nil)
 		return
 	}
 	if pkt.Flags&packet.FlagRetransmit != 0 && s.parent != nil {
@@ -264,19 +265,22 @@ func (s *Station) receiveExternal(pkt *packet.Packet) {
 	case pkt.Proto == packet.ProtoIPinIP && (pkt.Dst == s.anchorAddr || s.node.HasAddr(pkt.Dst)):
 		inner, err := pkt.Decapsulate()
 		if err != nil {
+			packet.Release(pkt)
 			return
 		}
+		// The tunnel wrapper ends here: detach the inner packet, release
+		// the wrapper, and route the inner alone.
+		pkt.Inner = nil
+		packet.Release(pkt)
 		s.deliverDown(inner)
 	case pkt.Proto == packet.ProtoMobileIP && s.node.HasAddr(pkt.Dst):
 		s.handleAnchorReply(pkt)
+		packet.Release(pkt)
 	case pkt.Proto == packet.ProtoTier:
-		msg, err := ParseMessage(pkt.Payload)
-		if err != nil {
-			return
-		}
-		s.handleControl(msg, pkt, topology.NoCell, nil)
+		s.consumeControl(pkt, topology.NoCell, nil)
 	case s.node.HasAddr(pkt.Dst):
 		// Nothing else addressed to the station is meaningful.
+		packet.Release(pkt)
 	default:
 		s.deliverDown(pkt)
 	}
@@ -421,6 +425,8 @@ func (s *Station) expireForward(mn addr.IP) {
 	if !ok || fr.expires > s.sched.Now() {
 		return
 	}
+	// Discarded packets were absorbed by this station (never re-sent), so
+	// they are recycled rather than accounted as network drops.
 	if n := fr.buf.Discard(); n > 0 && s.stats != nil {
 		s.stats.BufferDiscards.Add(uint64(n))
 	}
@@ -430,9 +436,7 @@ func (s *Station) expireForward(mn addr.IP) {
 // drainForward replays buffered packets and removes the redirect state;
 // the MN is reachable again (a fresh record was applied at this station).
 func (s *Station) drainForward(mn addr.IP, fr *forwardRec) {
-	if fr.drainEvt != nil {
-		fr.drainEvt.Cancel()
-	}
+	fr.drainEvt.Cancel()
 	delete(s.forwards, mn)
 	n := fr.buf.Drain(func(p *packet.Packet) {
 		p.Flags &^= packet.FlagRetransmit
@@ -643,7 +647,7 @@ func (s *Station) bufferPacket(pkt *packet.Packet, fr *forwardRec) {
 		if s.stats != nil {
 			s.stats.Buffered.Inc()
 		}
-		if fr.drainEvt == nil || !fr.drainEvt.Pending() {
+		if !fr.drainEvt.Pending() {
 			mn := pkt.Dst
 			fr.drainEvt = s.sched.After(s.cfg.DrainDelay, func() { s.timedDrain(mn) })
 		}
@@ -661,7 +665,7 @@ func (s *Station) timedDrain(mn addr.IP) {
 	if !ok {
 		return
 	}
-	fr.drainEvt = nil
+	fr.drainEvt = simtime.Event{}
 	n := fr.buf.Drain(func(p *packet.Packet) {
 		if s.parent == nil {
 			s.deliverDown(p)
@@ -699,6 +703,7 @@ func (s *Station) pageFlood(pkt *packet.Packet) {
 		// accounting must not count their deaths as primary losses.
 		out.Flags |= packet.FlagBicast
 		if err := out.DecrementTTL(); err != nil {
+			packet.Release(out)
 			continue
 		}
 		if s.stats != nil {
@@ -706,11 +711,16 @@ func (s *Station) pageFlood(pkt *packet.Packet) {
 		}
 		if err := s.node.SendVia(child.node, out); err == nil {
 			sentAny = true
+		} else {
+			packet.Release(out)
 		}
 	}
 	if !sentAny {
 		s.dropStale(pkt)
+		return
 	}
+	// Only clones went out; the original dies once the flood fans out.
+	packet.Release(pkt)
 }
 
 // maybeRegisterAnchor refreshes the root's Mobile IP binding for mn with

@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// The wired send → deliver → release cycle must be allocation-free in
+// steady state: packets come from the free list, the two per-send events
+// ride pooled flight records, and the receiver returns the packet to the
+// pool. Asserted (not benchmarked) so a regression fails go test.
+func TestLinkSendDeliverAllocFree(t *testing.T) {
+	sched := simtime.NewScheduler()
+	net := New(sched, simtime.NewRand(1))
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	l := net.Connect(a, b, LinkConfig{Delay: time.Millisecond, RateBps: 1e6, QueueLimit: 16})
+	b.SetHandler(HandlerFunc(func(p *packet.Packet, _ *Node, _ *Link) { packet.Release(p) }))
+
+	src, dst := addr.MustParse("10.0.0.1"), addr.MustParse("10.0.0.2")
+	payload := packet.ZeroPayload(160)
+	seq := uint32(0)
+	cycle := func() {
+		p := packet.New(src, dst, packet.ClassConversational, 1, seq, payload)
+		seq++
+		if err := a.Send(l, p); err != nil {
+			t.Fatal(err)
+		}
+		for sched.Step() {
+		}
+	}
+	for i := 0; i < 512; i++ { // warm packet pool, flights, event arena
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(2000, cycle); avg != 0 {
+		t.Fatalf("link send/deliver allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// The air interface (DeliverDirect) must be allocation-free too.
+func TestDeliverDirectAllocFree(t *testing.T) {
+	sched := simtime.NewScheduler()
+	net := New(sched, simtime.NewRand(1))
+	bs := net.NewNode("bs")
+	mn := net.NewNode("mn")
+	mn.SetHandler(HandlerFunc(func(p *packet.Packet, _ *Node, _ *Link) { packet.Release(p) }))
+
+	src, dst := addr.MustParse("10.0.0.1"), addr.MustParse("10.0.0.9")
+	payload := packet.ZeroPayload(160)
+	seq := uint32(0)
+	cycle := func() {
+		p := packet.New(src, dst, packet.ClassStreaming, 2, seq, payload)
+		seq++
+		if err := net.DeliverDirect(bs, mn, p, 4*time.Millisecond, 0.01); err != nil {
+			t.Fatal(err)
+		}
+		for sched.Step() {
+		}
+	}
+	for i := 0; i < 512; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(2000, cycle); avg != 0 {
+		t.Fatalf("DeliverDirect allocates %.1f allocs/op, want 0", avg)
+	}
+}

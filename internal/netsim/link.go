@@ -138,16 +138,11 @@ func (nd *Node) Send(l *Link, pkt *packet.Packet) error {
 	dir.busyUntil = done
 	dir.queued++
 
-	peer := l.Peer(nd)
-	lost := net.rng.Bool(l.cfg.Loss)
-	net.sched.At(done, func() { dir.queued-- })
-	net.sched.At(done+l.cfg.Delay, func() {
-		if lost {
-			net.observeDrop(peer, pkt, metrics.DropLinkLoss)
-			return
-		}
-		net.deliver(peer, pkt, nd, l)
-	})
+	f := net.getFlight()
+	f.to, f.from, f.link, f.pkt, f.dir = l.Peer(nd), nd, l, pkt, dir
+	f.lost = net.rng.Bool(l.cfg.Loss)
+	net.sched.At(done, f.txFn)
+	net.sched.At(done+l.cfg.Delay, f.fireFn)
 	return nil
 }
 

@@ -64,11 +64,64 @@ type Network struct {
 	links    []*Link
 	byAddr   map[addr.IP]*Node
 	observer Observer
+	flights  []*flight // free list of in-flight delivery records
 
 	// Totals for integration-test conservation checks.
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
+}
+
+// flight is one pooled in-flight delivery: the state a packet needs while
+// crossing a link or the air interface. Each flight binds its callback
+// funcs once at creation, so the steady-state send path schedules events
+// without allocating closures.
+type flight struct {
+	net    *Network
+	to     *Node
+	from   *Node
+	link   *Link
+	pkt    *packet.Packet
+	dir    *direction
+	lost   bool
+	fireFn func()
+	txFn   func()
+}
+
+// getFlight takes a flight from the free list (or makes one).
+func (n *Network) getFlight() *flight {
+	if k := len(n.flights); k > 0 {
+		f := n.flights[k-1]
+		n.flights = n.flights[:k-1]
+		return f
+	}
+	f := &flight{net: n}
+	f.fireFn = f.fire
+	f.txFn = f.txDone
+	return f
+}
+
+// putFlight recycles a flight after its arrival event ran.
+func (n *Network) putFlight(f *flight) {
+	f.to, f.from, f.link, f.pkt, f.dir = nil, nil, nil, nil, nil
+	f.lost = false
+	n.flights = append(n.flights, f)
+}
+
+// txDone marks the link direction free at serialization end. It always
+// fires no later than fire (delay >= 0), so the flight is still live.
+func (f *flight) txDone() { f.dir.queued-- }
+
+// fire resolves the arrival: loss or delivery. The loss was decided at
+// send time but is attributed here so traces read causally.
+func (f *flight) fire() {
+	n, to, from, link, pkt, lost := f.net, f.to, f.from, f.link, f.pkt, f.lost
+	n.putFlight(f)
+	if lost {
+		n.observeDrop(to, pkt, metrics.DropLinkLoss)
+		return
+	}
+	n.deliver(to, pkt, from, link)
 }
 
 // New creates an empty network on the given scheduler, drawing loss
@@ -208,11 +261,16 @@ func (n *Network) observeDeliver(at *Node, pkt *packet.Packet) {
 	}
 }
 
+// observeDrop accounts a packet's death and returns it (with any
+// encapsulated inner packet) to the free list: a drop is terminal by
+// definition, so every drop site transfers ownership here. Callers must
+// not touch the packet after dropping it.
 func (n *Network) observeDrop(at *Node, pkt *packet.Packet, reason metrics.DropReason) {
 	n.Dropped++
 	if n.observer != nil {
 		n.observer.OnDrop(at, pkt, reason)
 	}
+	packet.Release(pkt)
 }
 
 // deliver hands a packet to a node's handler, honouring failure state.
@@ -250,12 +308,9 @@ func (n *Network) DeliverDirect(from, to *Node, pkt *packet.Packet, delay time.D
 		return fmt.Errorf("%w: %s", ErrNodeDown, from)
 	}
 	n.observeSend(from, pkt)
-	if n.rng.Bool(loss) {
-		// The loss is decided now but attributed at arrival time so traces
-		// read causally.
-		n.sched.After(delay, func() { n.observeDrop(to, pkt, metrics.DropLinkLoss) })
-		return nil
-	}
-	n.sched.After(delay, func() { n.deliver(to, pkt, from, nil) })
+	f := n.getFlight()
+	f.to, f.from, f.pkt = to, from, pkt
+	f.lost = n.rng.Bool(loss)
+	n.sched.After(delay, f.fireFn)
 	return nil
 }

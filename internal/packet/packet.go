@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/addr"
@@ -116,6 +117,71 @@ type Packet struct {
 	SentAt time.Duration
 	// Inner is the encapsulated packet when Proto == ProtoIPinIP.
 	Inner *Packet
+
+	// sharedPayload marks the payload bytes as aliased by another packet
+	// (a Clone) or by the static zero buffer; WritablePayload copies
+	// before the first mutation.
+	sharedPayload bool
+	// released guards against use of a packet after Release returned it
+	// to the pool.
+	released bool
+}
+
+// pool recycles Packet structs across the simulator's hot send/deliver
+// path. It is shared by every scenario in the process; because the
+// constructors below initialise every field, recycling cannot leak state
+// between runs, and sync.Pool keeps concurrent scenario workers safe.
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// get returns a zeroed packet from the free list.
+func get() *Packet {
+	p := pool.Get().(*Packet)
+	*p = Packet{}
+	return p
+}
+
+// Release returns a packet (and, recursively, its encapsulated Inner) to
+// the free list. Ownership rules:
+//
+//   - The entity that removes a packet from the network releases it: the
+//     netsim drop path releases every dropped packet, and terminal
+//     receivers (mobile nodes/hosts, agents consuming control messages)
+//     release after handling. Forwarders never release — they pass
+//     ownership downstream with the packet.
+//   - After Release the packet must not be touched; any code that needs
+//     the packet past delivery must Clone it first. Payload slices may
+//     outlive the packet (Release drops the reference without recycling
+//     the bytes), so parsed messages and re-wrapped control payloads
+//     remain valid.
+//   - Releasing nil is a no-op. Releasing twice is a bug; Release panics
+//     so the misuse is caught in tests rather than corrupting a run.
+func Release(p *Packet) {
+	if p == nil {
+		return
+	}
+	if p.released {
+		panic("packet: double Release")
+	}
+	inner := p.Inner
+	*p = Packet{released: true}
+	pool.Put(p)
+	Release(inner)
+}
+
+// zeroes backs ZeroPayload. Simulated application payloads carry no
+// information — only their length matters for wire accounting — so every
+// generator can slice one static zero buffer instead of allocating per
+// packet. The buffer is read-only by contract.
+var zeroes [64 * 1024]byte
+
+// ZeroPayload returns an all-zero payload of length n without allocating
+// (for n up to 64 KiB). The returned slice is shared and must not be
+// written; it is the standard payload for simulated application data.
+func ZeroPayload(n int) []byte {
+	if n <= len(zeroes) {
+		return zeroes[:n:n]
+	}
+	return make([]byte, n)
 }
 
 // Flag bits.
@@ -127,31 +193,41 @@ const (
 	FlagRetransmit
 )
 
-// New returns a data packet with a full TTL.
+// New returns a data packet with a full TTL. The packet comes from the
+// free list; hand it back with Release when it leaves the network.
 func New(src, dst addr.IP, class Class, flowID, seq uint32, payload []byte) *Packet {
-	return &Packet{
-		Src:     src,
-		Dst:     dst,
-		TTL:     MaxTTL,
-		Proto:   ProtoData,
-		Class:   class,
-		FlowID:  flowID,
-		Seq:     seq,
-		Payload: payload,
-	}
+	p := get()
+	p.Src = src
+	p.Dst = dst
+	p.TTL = MaxTTL
+	p.Proto = ProtoData
+	p.Class = class
+	p.FlowID = flowID
+	p.Seq = seq
+	p.Payload = payload
+	p.sharedPayload = aliasesZeroes(payload)
+	return p
 }
 
 // NewControl returns a control packet of the given protocol whose payload
-// is a marshalled message.
+// is a marshalled message. The packet comes from the free list; hand it
+// back with Release when it leaves the network.
 func NewControl(src, dst addr.IP, proto Protocol, payload []byte) *Packet {
-	return &Packet{
-		Src:     src,
-		Dst:     dst,
-		TTL:     MaxTTL,
-		Proto:   proto,
-		Class:   ClassControl,
-		Payload: payload,
-	}
+	p := get()
+	p.Src = src
+	p.Dst = dst
+	p.TTL = MaxTTL
+	p.Proto = proto
+	p.Class = ClassControl
+	p.Payload = payload
+	p.sharedPayload = aliasesZeroes(payload)
+	return p
+}
+
+// aliasesZeroes reports whether payload is a ZeroPayload slice of the
+// static zero buffer (which must never be written through a packet).
+func aliasesZeroes(payload []byte) bool {
+	return len(payload) > 0 && &payload[0] == &zeroes[0]
 }
 
 // Size returns the packet's wire size in bytes, including recursively
@@ -166,19 +242,36 @@ func (p *Packet) Size() int {
 	return HeaderSize + len(p.Payload)
 }
 
-// Clone returns a deep copy. Semisoft handoff bicasts clones so the two
-// copies age independently in queues.
+// Clone returns an independent copy for bicast/flood duplication: header
+// fields are copied so the two packets age independently in queues, while
+// the payload bytes are shared copy-on-write (both packets are marked
+// shared; WritablePayload copies before mutating). Encapsulated inner
+// packets are cloned recursively.
 func (p *Packet) Clone() *Packet {
 	if p == nil {
 		return nil
 	}
-	q := *p
+	q := get()
+	*q = *p
 	if p.Payload != nil {
-		q.Payload = make([]byte, len(p.Payload))
-		copy(q.Payload, p.Payload)
+		p.sharedPayload = true
+		q.sharedPayload = true
 	}
 	q.Inner = p.Inner.Clone()
-	return &q
+	return q
+}
+
+// WritablePayload returns a payload slice safe to mutate, copying the
+// bytes first when they are shared with a clone or the static zero
+// buffer. Protocol code must use this instead of writing Payload directly.
+func (p *Packet) WritablePayload() []byte {
+	if p.sharedPayload && p.Payload != nil {
+		own := make([]byte, len(p.Payload))
+		copy(own, p.Payload)
+		p.Payload = own
+		p.sharedPayload = false
+	}
+	return p.Payload
 }
 
 // DecrementTTL ages the packet by one hop, returning ErrTTLExceeded when
@@ -212,17 +305,17 @@ func Encapsulate(src, dst addr.IP, inner *Packet) (*Packet, error) {
 	if inner == nil {
 		return nil, ErrNilPacket
 	}
-	return &Packet{
-		Src:    src,
-		Dst:    dst,
-		TTL:    MaxTTL,
-		Proto:  ProtoIPinIP,
-		Class:  inner.Class, // tunnel inherits the inner QoS class
-		FlowID: inner.FlowID,
-		Seq:    inner.Seq,
-		SentAt: inner.SentAt,
-		Inner:  inner,
-	}, nil
+	p := get()
+	p.Src = src
+	p.Dst = dst
+	p.TTL = MaxTTL
+	p.Proto = ProtoIPinIP
+	p.Class = inner.Class // tunnel inherits the inner QoS class
+	p.FlowID = inner.FlowID
+	p.Seq = inner.Seq
+	p.SentAt = inner.SentAt
+	p.Inner = inner
+	return p, nil
 }
 
 // Decapsulate unwraps a tunnel packet, as a Foreign Agent does before
@@ -280,20 +373,20 @@ func Unmarshal(b []byte) (*Packet, error) {
 	if len(b) < HeaderSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
 	}
-	p := &Packet{
-		Src:    addr.IP(binary.BigEndian.Uint32(b[0:4])),
-		Dst:    addr.IP(binary.BigEndian.Uint32(b[4:8])),
-		TTL:    b[8],
-		Proto:  Protocol(b[9]),
-		Class:  Class(b[10]),
-		Flags:  b[11],
-		FlowID: binary.BigEndian.Uint32(b[12:16]),
-		Seq:    binary.BigEndian.Uint32(b[16:20]),
-	}
+	p := get()
+	p.Src = addr.IP(binary.BigEndian.Uint32(b[0:4]))
+	p.Dst = addr.IP(binary.BigEndian.Uint32(b[4:8]))
+	p.TTL = b[8]
+	p.Proto = Protocol(b[9])
+	p.Class = Class(b[10])
+	p.Flags = b[11]
+	p.FlowID = binary.BigEndian.Uint32(b[12:16])
+	p.Seq = binary.BigEndian.Uint32(b[16:20])
 	rest := b[HeaderSize:]
 	if p.Proto == ProtoIPinIP {
 		inner, err := Unmarshal(rest)
 		if err != nil {
+			Release(p)
 			return nil, fmt.Errorf("inner: %w", err)
 		}
 		p.Inner = inner

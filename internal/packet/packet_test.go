@@ -166,9 +166,14 @@ func TestClone(t *testing.T) {
 	inner := New(srcIP, dstIP, ClassStreaming, 1, 2, []byte("abc"))
 	tun, _ := Encapsulate(tunIP, dstIP, inner)
 	cp := tun.Clone()
-	cp.Inner.Payload[0] = 'z'
+	// Payload bytes are shared copy-on-write: mutation must go through
+	// WritablePayload, which detaches the clone's bytes first.
+	cp.Inner.WritablePayload()[0] = 'z'
 	if inner.Payload[0] != 'a' {
-		t.Fatal("Clone shares payload storage with original")
+		t.Fatal("WritablePayload mutation leaked into the original")
+	}
+	if cp.Inner.Payload[0] != 'z' {
+		t.Fatal("WritablePayload mutation lost")
 	}
 	cp.Inner.Seq = 99
 	if inner.Seq != 2 {
@@ -177,6 +182,47 @@ func TestClone(t *testing.T) {
 	var nilPkt *Packet
 	if nilPkt.Clone() != nil {
 		t.Fatal("nil Clone should be nil")
+	}
+}
+
+func TestWritablePayloadDetachesOriginalToo(t *testing.T) {
+	p := New(srcIP, dstIP, ClassStreaming, 1, 2, []byte("abc"))
+	c := p.Clone()
+	p.WritablePayload()[0] = 'x'
+	if c.Payload[0] != 'a' {
+		t.Fatal("original's mutation leaked into the clone")
+	}
+}
+
+func TestZeroPayloadIsSharedAndCOW(t *testing.T) {
+	a := ZeroPayload(64)
+	b := ZeroPayload(128)
+	if len(a) != 64 || len(b) != 128 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("ZeroPayload should share one static buffer")
+	}
+	p := New(srcIP, dstIP, ClassBackground, 1, 1, ZeroPayload(32))
+	w := p.WritablePayload()
+	w[0] = 7
+	if b[0] != 0 {
+		t.Fatal("WritablePayload mutated the shared zero buffer")
+	}
+}
+
+func TestReleaseRecycles(t *testing.T) {
+	p := New(srcIP, dstIP, ClassStreaming, 1, 2, []byte("abc"))
+	inner := New(srcIP, dstIP, ClassStreaming, 1, 3, []byte("def"))
+	tun, _ := Encapsulate(tunIP, dstIP, inner)
+	Release(p)
+	Release(tun) // releases inner recursively
+	Release(nil) // no-op
+	// Fresh packets must come out fully initialised regardless of what
+	// the recycled slots previously held.
+	q := New(srcIP, dstIP, ClassConversational, 9, 9, nil)
+	if q.TTL != MaxTTL || q.Inner != nil || q.Payload != nil || q.Flags != 0 {
+		t.Fatalf("recycled packet not reset: %+v", q)
 	}
 }
 

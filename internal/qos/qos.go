@@ -268,9 +268,15 @@ func (b *SwitchBuffer) Drain(deliver func(*packet.Packet)) int {
 }
 
 // Discard empties the buffer without delivery (handoff aborted), returning
-// the number discarded.
+// the number discarded. The packets are returned to the packet free list:
+// a discarded packet was absorbed by the buffering station and has no
+// other owner, so dropping the references without Release would leak from
+// the pool's point of view.
 func (b *SwitchBuffer) Discard() int {
 	n := len(b.pkts)
+	for _, p := range b.pkts {
+		packet.Release(p)
+	}
 	b.pkts = b.pkts[:0]
 	return n
 }

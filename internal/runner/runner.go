@@ -28,6 +28,12 @@ type Job struct {
 	Label string
 	// Config is the scenario to run.
 	Config core.Config
+	// Seeds optionally pins the per-replication seeds; its length must
+	// equal the batch's Reps. Batches that merge jobs from several
+	// logical seed streams (the flattened experiment suite) use this to
+	// reproduce exactly the seeds each stream would have derived on its
+	// own; jobs without Seeds use the (BaseSeed, index, rep) derivation.
+	Seeds []int64
 }
 
 // Options tune the pool.
@@ -87,6 +93,19 @@ func PairedSeed(base int64, rep int) int64 {
 	return Seed(base, 0, rep)
 }
 
+// PairedSeeds returns the full paired seed stream for reps replications.
+// It is the single source of truth shared by Run's Paired mode and by
+// callers that pin Job.Seeds to merge several paired batches into one
+// (the flattened experiment suite) — using it on both sides is what
+// keeps a flattened batch bit-identical to per-batch execution.
+func PairedSeeds(base int64, reps int) []int64 {
+	s := make([]int64, reps)
+	for r := range s {
+		s[r] = PairedSeed(base, r)
+	}
+	return s
+}
+
 func mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -118,6 +137,9 @@ func Run(jobs []Job, opt Options) ([]JobResult, error) {
 	}
 	results := make([]JobResult, len(jobs))
 	for i := range results {
+		if n := len(jobs[i].Seeds); n != 0 && n != opt.Reps {
+			return nil, fmt.Errorf("%w: job %d has %d pinned seeds for %d reps", ErrBadOptions, i, n, opt.Reps)
+		}
 		results[i] = JobResult{
 			Job:   jobs[i],
 			Index: i,
@@ -125,9 +147,12 @@ func Run(jobs []Job, opt Options) ([]JobResult, error) {
 			Runs:  make([]*core.Result, opt.Reps),
 		}
 		for r := 0; r < opt.Reps; r++ {
-			if opt.Paired {
+			switch {
+			case len(jobs[i].Seeds) > 0:
+				results[i].Seeds[r] = jobs[i].Seeds[r]
+			case opt.Paired:
 				results[i].Seeds[r] = PairedSeed(opt.BaseSeed, r)
-			} else {
+			default:
 				results[i].Seeds[r] = Seed(opt.BaseSeed, i, r)
 			}
 		}

@@ -1,0 +1,63 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// The steady-state schedule/fire cycle must be allocation-free: slots are
+// recycled through the arena free list and the heap reuses its backing
+// array. A regression here multiplies into millions of allocations per
+// experiment, so the budget is asserted, not just benchmarked.
+func TestScheduleFireCycleAllocFree(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	// Warm the arena and heap to steady-state capacity.
+	for i := 0; i < 1024; i++ {
+		s.After(time.Duration(i%7)*time.Microsecond, fn)
+	}
+	for s.Step() {
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/fire cycle allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// Cancelling recycled-slot churn must stay allocation-free too.
+func TestScheduleCancelCycleAllocFree(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		s.After(time.Microsecond, fn).Cancel()
+		s.Step()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		ev := s.After(time.Microsecond, fn)
+		ev.Cancel()
+		s.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/cancel cycle allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// Ticker re-arming must not allocate per tick (the tick closure is bound
+// once at construction).
+func TestTickerTickAllocFree(t *testing.T) {
+	s := NewScheduler()
+	tk := s.Every(time.Millisecond, func() {})
+	for i := 0; i < 64; i++ {
+		s.Step()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		s.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("ticker tick allocates %.1f allocs/op, want 0", avg)
+	}
+	tk.Stop()
+}

@@ -6,10 +6,16 @@
 // and events scheduled for the same instant fire in the order they were
 // scheduled (FIFO tie-break by sequence number). Re-running a scenario with
 // the same seed therefore reproduces identical behaviour.
+//
+// The event queue is an inlined 4-ary min-heap of indices into a pooled
+// slot arena. Scheduling recycles slots from a free list, so the
+// steady-state schedule/fire cycle allocates nothing; Event handles carry
+// a generation counter so Cancel/Pending on a handle whose slot has been
+// recycled stay safe (they report false instead of touching the new
+// occupant).
 package simtime
 
 import (
-	"container/heap"
 	"errors"
 	"time"
 )
@@ -18,65 +24,69 @@ import (
 // explicitly before the event queue drained.
 var ErrStopped = errors.New("simtime: scheduler stopped")
 
-// Event is a unit of scheduled work. Events are created through
-// Scheduler.At / Scheduler.After and may be cancelled until they fire.
+// Event is a handle to scheduled work, returned by Scheduler.At /
+// Scheduler.After. It is a small value (not a pointer): copy it freely,
+// store it in fields, and compare against the zero Event for "no event".
+// The zero Event is never pending and Cancel on it is a no-op.
 type Event struct {
+	s   *Scheduler
+	idx int32  // arena slot index + 1; 0 marks the zero handle
+	gen uint32 // slot generation at scheduling time
+}
+
+// slot is one arena entry. A slot is live while queued in the heap; firing
+// or cancellation returns it to the free list and bumps gen, invalidating
+// outstanding handles.
+type slot struct {
 	at       time.Duration
 	seq      uint64
 	fn       func()
-	index    int // heap index, -1 once fired or cancelled
+	gen      uint32
+	pos      int32 // heap position, -1 when not queued
 	canceled bool
 }
 
-// At reports the virtual time the event is scheduled for.
-func (e *Event) At() time.Duration { return e.at }
+// At reports the virtual time the event is scheduled for, or zero when the
+// event already fired or was cancelled.
+func (e Event) At() time.Duration {
+	if sl := e.slot(); sl != nil {
+		return sl.at
+	}
+	return 0
+}
 
 // Cancel prevents the event from firing. Cancelling an event that already
 // fired or was already cancelled is a no-op. Cancel reports whether the
 // event was still pending.
-func (e *Event) Cancel() bool {
-	if e == nil || e.canceled || e.index < 0 {
+func (e Event) Cancel() bool {
+	sl := e.slot()
+	if sl == nil || sl.canceled {
 		return false
 	}
-	e.canceled = true
+	sl.canceled = true
+	sl.fn = nil
+	e.s.canceled++
+	e.s.maybePurge()
 	return true
 }
 
 // Pending reports whether the event is still queued and not cancelled.
-func (e *Event) Pending() bool { return e != nil && !e.canceled && e.index >= 0 }
+func (e Event) Pending() bool {
+	sl := e.slot()
+	return sl != nil && !sl.canceled
+}
 
-// eventHeap is a binary min-heap ordered by (at, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// slot resolves the handle to its live arena slot, or nil when the handle
+// is zero, fired, cancelled-and-collected, or recycled.
+func (e Event) slot() *slot {
+	if e.s == nil || e.idx == 0 {
+		return nil
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	sl := &e.s.slots[e.idx-1]
+	if sl.gen != e.gen || sl.pos < 0 {
+		return nil
+	}
+	return sl
 }
 
 // Scheduler is a deterministic discrete-event executor. The zero value is
@@ -84,10 +94,16 @@ func (h *eventHeap) Pop() any {
 // core is intentionally single-threaded (see DESIGN.md §4).
 type Scheduler struct {
 	now     time.Duration
-	queue   eventHeap
+	slots   []slot
+	heap    []int32 // 4-ary min-heap of slot indices, ordered by (at, seq)
+	free    []int32 // recycled slot indices
 	seq     uint64
 	stopped bool
 	fired   uint64
+	// canceled counts cancelled-but-unpopped heap entries, so Len can
+	// report live events and maybePurge knows when lazy removal is no
+	// longer cheap.
+	canceled int
 }
 
 // NewScheduler returns a scheduler with virtual time zero.
@@ -96,9 +112,13 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
 
-// Len returns the number of pending events (including cancelled events that
-// have not yet been discarded by the run loop).
-func (s *Scheduler) Len() int { return len(s.queue) }
+// Len returns the number of live pending events. Cancelled events that
+// have not yet been discarded by the run loop are not counted.
+func (s *Scheduler) Len() int { return len(s.heap) - s.canceled }
+
+// Queued returns the raw queue occupancy, including cancelled events that
+// lazy removal has not collected yet. Len <= Queued always holds.
+func (s *Scheduler) Queued() int { return len(s.heap) }
 
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
@@ -106,19 +126,31 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // clamps to the current time (the event fires next, after already-queued
 // events for the same instant).
-func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+func (s *Scheduler) At(t time.Duration, fn func()) Event {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn}
+	var i int32
+	if n := len(s.free); n > 0 {
+		i = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, slot{})
+		i = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[i]
+	sl.at = t
+	sl.seq = s.seq
+	sl.fn = fn
+	sl.canceled = false
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return ev
+	s.push(i)
+	return Event{s: s, idx: i + 1, gen: sl.gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative d
 // clamps to zero.
-func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+func (s *Scheduler) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -132,14 +164,20 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Step fires the single earliest pending event, advancing virtual time to
 // its timestamp. It reports false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*Event)
-		if ev.canceled {
+	for len(s.heap) > 0 {
+		i := s.popMin()
+		sl := &s.slots[i]
+		if sl.canceled {
+			s.canceled--
+			s.freeSlot(i)
 			continue
 		}
-		s.now = ev.at
+		at := sl.at
+		fn := sl.fn
+		s.freeSlot(i)
+		s.now = at
 		s.fired++
-		ev.fn()
+		fn()
 		return true
 	}
 	return false
@@ -163,8 +201,8 @@ func (s *Scheduler) Run() error {
 func (s *Scheduler) RunUntil(deadline time.Duration) error {
 	s.stopped = false
 	for !s.stopped {
-		ev := s.peek()
-		if ev == nil || ev.at > deadline {
+		at, ok := s.peekAt()
+		if !ok || at > deadline {
 			if s.now < deadline {
 				s.now = deadline
 			}
@@ -175,15 +213,133 @@ func (s *Scheduler) RunUntil(deadline time.Duration) error {
 	return ErrStopped
 }
 
-// peek returns the earliest non-cancelled event without firing it, discarding
+// peekAt returns the timestamp of the earliest live event, discarding
 // cancelled heap heads along the way.
-func (s *Scheduler) peek() *Event {
-	for len(s.queue) > 0 {
-		if s.queue[0].canceled {
-			heap.Pop(&s.queue)
+func (s *Scheduler) peekAt() (time.Duration, bool) {
+	for len(s.heap) > 0 {
+		i := s.heap[0]
+		sl := &s.slots[i]
+		if sl.canceled {
+			s.popMin()
+			s.canceled--
+			s.freeSlot(i)
 			continue
 		}
-		return s.queue[0]
+		return sl.at, true
 	}
-	return nil
+	return 0, false
+}
+
+// freeSlot returns a slot to the free list. The generation bump invalidates
+// every outstanding handle to the old occupant.
+func (s *Scheduler) freeSlot(i int32) {
+	sl := &s.slots[i]
+	sl.fn = nil
+	sl.gen++
+	sl.pos = -1
+	s.free = append(s.free, i)
+}
+
+// maybePurge compacts the heap when cancelled entries outnumber live ones.
+// Lazy removal (skip-on-pop) is O(1) per cancel, but a workload that
+// cancels most of what it schedules far ahead of time (retry timers,
+// semisoft windows) would otherwise accumulate dead entries and slow every
+// sift; purging at >50% occupancy keeps amortized cost constant.
+func (s *Scheduler) maybePurge() {
+	if s.canceled < 64 || s.canceled*2 < len(s.heap) {
+		return
+	}
+	keep := s.heap[:0]
+	for _, i := range s.heap {
+		if s.slots[i].canceled {
+			s.canceled--
+			s.freeSlot(i)
+			continue
+		}
+		keep = append(keep, i)
+	}
+	s.heap = keep
+	for pos, i := range s.heap {
+		s.slots[i].pos = int32(pos)
+	}
+	for i := (len(s.heap) - 2) >> 2; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+// less orders slots by (at, seq): time order with FIFO tie-break.
+func (s *Scheduler) less(a, b int32) bool {
+	sa, sb := &s.slots[a], &s.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// push appends slot i to the heap and restores the heap invariant.
+func (s *Scheduler) push(i int32) {
+	s.heap = append(s.heap, i)
+	s.slots[i].pos = int32(len(s.heap) - 1)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// popMin removes and returns the root (minimum) slot index.
+func (s *Scheduler) popMin() int32 {
+	h := s.heap
+	min := h[0]
+	last := h[len(h)-1]
+	s.heap = h[:len(h)-1]
+	if len(s.heap) > 0 {
+		s.heap[0] = last
+		s.slots[last].pos = 0
+		s.siftDown(0)
+	}
+	s.slots[min].pos = -1
+	return min
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	id := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !s.less(id, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		s.slots[h[i]].pos = int32(i)
+		i = p
+	}
+	h[i] = id
+	s.slots[id].pos = int32(i)
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	id := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !s.less(h[best], id) {
+			break
+		}
+		h[i] = h[best]
+		s.slots[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = id
+	s.slots[id].pos = int32(i)
 }

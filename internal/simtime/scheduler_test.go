@@ -82,13 +82,89 @@ func TestSchedulerCancel(t *testing.T) {
 	}
 }
 
-func TestSchedulerCancelNil(t *testing.T) {
-	var ev *Event
+func TestSchedulerCancelZeroHandle(t *testing.T) {
+	var ev Event
 	if ev.Cancel() {
-		t.Fatal("nil event Cancel should report false")
+		t.Fatal("zero event Cancel should report false")
 	}
 	if ev.Pending() {
-		t.Fatal("nil event should not be pending")
+		t.Fatal("zero event should not be pending")
+	}
+}
+
+// A handle must go dead once its slot is recycled by a later event: Cancel
+// and Pending on the stale handle may not touch the new occupant.
+func TestSchedulerStaleHandleAfterRecycle(t *testing.T) {
+	s := NewScheduler()
+	stale := s.At(time.Millisecond, func() {})
+	if !s.Step() {
+		t.Fatal("Step should fire the event")
+	}
+	var fired bool
+	fresh := s.At(time.Second, func() { fired = true }) // recycles the slot
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending after its slot was recycled")
+	}
+	if stale.Cancel() {
+		t.Fatal("stale handle Cancel must not cancel the recycled slot's event")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event lost")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("recycled-slot event never fired")
+	}
+}
+
+// Len must count live events only; Queued includes lazily-removed ones.
+func TestSchedulerLenExcludesCancelled(t *testing.T) {
+	s := NewScheduler()
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = s.At(time.Duration(i+1)*time.Second, func() {})
+	}
+	for i := 0; i < 4; i++ {
+		evs[i].Cancel()
+	}
+	if got := s.Len(); got != 6 {
+		t.Fatalf("Len=%d after cancelling 4 of 10, want 6", got)
+	}
+	if got := s.Queued(); got != 10 {
+		t.Fatalf("Queued=%d, want 10 (lazy removal keeps cancelled entries)", got)
+	}
+	fired := 0
+	for s.Step() {
+		fired++
+	}
+	if fired != 6 {
+		t.Fatalf("fired %d events, want 6", fired)
+	}
+	if s.Len() != 0 || s.Queued() != 0 {
+		t.Fatalf("drained scheduler reports Len=%d Queued=%d", s.Len(), s.Queued())
+	}
+}
+
+// Heavy cancellation must not accumulate dead heap entries (lazy purge).
+func TestSchedulerPurgeBoundsCancelled(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 10_000; i++ {
+		ev := s.At(time.Duration(i+1)*time.Millisecond, func() {})
+		if i%10 != 0 {
+			ev.Cancel()
+		}
+	}
+	if live, queued := s.Len(), s.Queued(); queued > 2*live+128 {
+		t.Fatalf("purge failed to bound dead entries: live=%d queued=%d", live, queued)
+	}
+	fired := 0
+	for s.Step() {
+		fired++
+	}
+	if fired != 1000 {
+		t.Fatalf("fired %d, want 1000", fired)
 	}
 }
 

@@ -9,7 +9,8 @@ type Ticker struct {
 	sched    *Scheduler
 	interval time.Duration
 	fn       func()
-	next     *Event
+	tickFn   func() // t.tick bound once so re-arming never allocates
+	next     Event
 	stopped  bool
 	ticks    uint64
 }
@@ -20,6 +21,7 @@ type Ticker struct {
 // "feature disabled" configurations uniformly.
 func (s *Scheduler) Every(interval time.Duration, fn func()) *Ticker {
 	t := &Ticker{sched: s, interval: interval, fn: fn}
+	t.tickFn = t.tick
 	if interval <= 0 {
 		t.stopped = true
 		return t
@@ -32,16 +34,17 @@ func (s *Scheduler) Every(interval time.Duration, fn func()) *Ticker {
 // current virtual instant) before settling into the periodic cadence.
 func (s *Scheduler) EveryNow(interval time.Duration, fn func()) *Ticker {
 	t := &Ticker{sched: s, interval: interval, fn: fn}
+	t.tickFn = t.tick
 	if interval <= 0 {
 		t.stopped = true
 		return t
 	}
-	t.next = s.After(0, t.tick)
+	t.next = s.After(0, t.tickFn)
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.next = t.sched.After(t.interval, t.tick)
+	t.next = t.sched.After(t.interval, t.tickFn)
 }
 
 func (t *Ticker) tick() {
@@ -61,9 +64,7 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	if t.next != nil {
-		t.next.Cancel()
-	}
+	t.next.Cancel()
 }
 
 // Stopped reports whether the ticker has been stopped.
@@ -75,9 +76,7 @@ func (t *Ticker) Ticks() uint64 { return t.ticks }
 // Reset restarts the ticker with a new interval, cancelling the pending
 // firing. A non-positive interval stops the ticker.
 func (t *Ticker) Reset(interval time.Duration) {
-	if t.next != nil {
-		t.next.Cancel()
-	}
+	t.next.Cancel()
 	if interval <= 0 {
 		t.stopped = true
 		return

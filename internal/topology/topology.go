@@ -148,6 +148,92 @@ type Topology struct {
 	Domains []Domain
 	Arena   geo.Rect
 	cfg     Config
+	grid    gridIndex
+}
+
+// gridIndex is a uniform spatial hash over cell coverage discs: every cell
+// is inserted into each grid bucket its bounding square [Pos±MaxRange]
+// overlaps, so the single bucket containing a query point holds a superset
+// of the cells whose nominal range can reach that point. Lookups are O(1)
+// plus the (local) bucket length instead of O(all cells).
+//
+// Bucket side is max(100 m, largestRange/16): fine enough that a bucket
+// holds only the local neighbourhood of small cells, coarse enough that
+// even the largest (root) disc inserts into a bounded ~33x33 block of
+// buckets at build time.
+type gridIndex struct {
+	cell       float64
+	minX, minY float64
+	cols, rows int
+	buckets    [][]CellID // ascending CellID per bucket (build order)
+}
+
+// buildGrid indexes every cell. Called once at Build time, after the
+// arena is known.
+func (t *Topology) buildGrid() {
+	maxR := 0.0
+	for _, c := range t.Cells {
+		if c.Radio.MaxRange > maxR {
+			maxR = c.Radio.MaxRange
+		}
+	}
+	cs := maxR / 16
+	if cs < 100 {
+		cs = 100
+	}
+	g := &t.grid
+	g.cell = cs
+	g.minX, g.minY = t.Arena.Min.X, t.Arena.Min.Y
+	g.cols = int((t.Arena.Max.X-t.Arena.Min.X)/cs) + 1
+	g.rows = int((t.Arena.Max.Y-t.Arena.Min.Y)/cs) + 1
+	g.buckets = make([][]CellID, g.cols*g.rows)
+	for _, c := range t.Cells { // ascending ID ⇒ buckets stay sorted
+		r := c.Radio.MaxRange
+		x0, y0 := g.clampCol(c.Pos.X-r), g.clampRow(c.Pos.Y-r)
+		x1, y1 := g.clampCol(c.Pos.X+r), g.clampRow(c.Pos.Y+r)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				i := y*g.cols + x
+				g.buckets[i] = append(g.buckets[i], c.ID)
+			}
+		}
+	}
+}
+
+func (g *gridIndex) clampCol(x float64) int {
+	c := int((x - g.minX) / g.cell)
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	return c
+}
+
+func (g *gridIndex) clampRow(y float64) int {
+	r := int((y - g.minY) / g.cell)
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	return r
+}
+
+// Nearby returns the ids of every cell whose nominal coverage could reach
+// p: a superset of the in-range set, in ascending id order. Points outside
+// the arena (which bounds every coverage disc) return nil. The returned
+// slice aliases the index — callers must not mutate or retain it.
+func (t *Topology) Nearby(p geo.Point) []CellID {
+	// The grid is built once in Build; Nearby stays a pure reader so a
+	// Topology can safely be shared across goroutines after Build.
+	if p.X < t.Arena.Min.X || p.X > t.Arena.Max.X || p.Y < t.Arena.Min.Y || p.Y > t.Arena.Max.Y {
+		return nil
+	}
+	g := &t.grid
+	return g.buckets[g.clampRow(p.Y)*g.cols+g.clampCol(p.X)]
 }
 
 // Build constructs the hierarchy, placing roots in a row, domain macros in
@@ -241,6 +327,7 @@ func Build(cfg Config) (*Topology, error) {
 		return nil, err
 	}
 	t.computeArena()
+	t.buildGrid()
 	return t, nil
 }
 
@@ -335,25 +422,50 @@ func (t *Topology) CellsOfTier(tier Tier) []*Cell {
 }
 
 // Covering returns the ids of cells whose nominal coverage contains p,
-// in id order.
+// in id order. The grid restricts the scan to the neighbourhood of p.
 func (t *Topology) Covering(p geo.Point) []CellID {
 	var out []CellID
-	for _, c := range t.Cells {
-		if c.Coverage().Contains(p) {
-			out = append(out, c.ID)
+	for _, id := range t.Nearby(p) {
+		if t.Cells[id].Coverage().Contains(p) {
+			out = append(out, id)
 		}
 	}
 	return out
 }
 
-// Signals measures every cell's signal at p (nil rng = deterministic
-// mean). The radio.Signal Cell field carries the CellID.
+// Signals measures candidate cells at p (nil rng = deterministic mean).
+// The radio.Signal Cell field carries the CellID. Allocates a fresh slice
+// per call; hot paths should hold a scratch buffer and use MeasureInto.
 func (t *Topology) Signals(p geo.Point, rng *simtime.Rand) []radio.Signal {
-	out := make([]radio.Signal, 0, len(t.Cells))
-	for _, c := range t.Cells {
-		out = append(out, radio.MeasureAt(int(c.ID), c.Radio, c.Pos, p, rng))
+	return t.MeasureInto(nil, p, rng)
+}
+
+// MeasureInto measures candidate cells at p into dst (reusing its
+// capacity) and returns the filled slice.
+//
+// With a nil rng (no shadowing) only the grid neighbourhood of p is
+// measured: cells whose nominal range cannot reach p can never be
+// selected (Selector.Best and Choose ignore out-of-range candidates, and
+// an unmeasured incumbent behaves exactly like an out-of-range one), so
+// skipping them is behaviour-preserving and makes the per-tick cost
+// O(nearby) instead of O(all cells).
+//
+// With a non-nil rng every cell is measured in id order: each measurement
+// draws shadowing from the rng, so the draw sequence — and therefore the
+// whole run — must not depend on the MN's position.
+func (t *Topology) MeasureInto(dst []radio.Signal, p geo.Point, rng *simtime.Rand) []radio.Signal {
+	dst = dst[:0]
+	if rng == nil {
+		for _, id := range t.Nearby(p) {
+			c := t.Cells[id]
+			dst = append(dst, radio.MeasureAt(int(c.ID), c.Radio, c.Pos, p, nil))
+		}
+		return dst
 	}
-	return out
+	for _, c := range t.Cells {
+		dst = append(dst, radio.MeasureAt(int(c.ID), c.Radio, c.Pos, p, rng))
+	}
+	return dst
 }
 
 // PathToRoot returns the cell ids from c up to its top-level ancestor,

@@ -180,11 +180,27 @@ func TestCoveringQuery(t *testing.T) {
 	}
 }
 
-func TestSignalsMeasureEveryCell(t *testing.T) {
+func TestSignalsMeasureCandidates(t *testing.T) {
 	top := build(t, DefaultConfig())
 	sigs := top.Signals(top.Cells[0].Pos, nil)
-	if len(sigs) != len(top.Cells) {
-		t.Fatalf("signals = %d, want %d", len(sigs), len(top.Cells))
+	if len(sigs) == 0 {
+		t.Fatal("no signals at a root centre")
+	}
+	// Every in-range cell must be measured (grid superset property).
+	inRange := 0
+	for _, c := range top.Cells {
+		if c.Pos.DistanceTo(top.Cells[0].Pos) <= c.Radio.MaxRange {
+			inRange++
+		}
+	}
+	measured := 0
+	for _, s := range sigs {
+		if s.InRange {
+			measured++
+		}
+	}
+	if measured != inRange {
+		t.Fatalf("measured %d in-range cells, want %d", measured, inRange)
 	}
 	// Deterministic without rng.
 	sigs2 := top.Signals(top.Cells[0].Pos, nil)
@@ -193,9 +209,39 @@ func TestSignalsMeasureEveryCell(t *testing.T) {
 			t.Fatal("nil-rng signals nondeterministic")
 		}
 	}
-	// With rng, still one per cell.
+	// With a shadowing rng every cell is measured, in id order, so the
+	// draw sequence is position-independent.
 	if got := top.Signals(top.Cells[0].Pos, simtime.NewRand(1)); len(got) != len(top.Cells) {
 		t.Fatal("rng signals wrong length")
+	}
+}
+
+// The grid must return, at any point, a sorted superset of the cells whose
+// nominal range reaches that point — the property the O(nearby)
+// measurement path relies on.
+func TestNearbySupersetProperty(t *testing.T) {
+	top := build(t, DefaultConfig())
+	rng := simtime.NewRand(42)
+	for trial := 0; trial < 2000; trial++ {
+		p := geo.Pt(
+			rng.Uniform(top.Arena.Min.X-1000, top.Arena.Max.X+1000),
+			rng.Uniform(top.Arena.Min.Y-1000, top.Arena.Max.Y+1000),
+		)
+		near := top.Nearby(p)
+		for i := 1; i < len(near); i++ {
+			if near[i] <= near[i-1] {
+				t.Fatalf("Nearby not strictly ascending at %v: %v", p, near)
+			}
+		}
+		set := make(map[CellID]bool, len(near))
+		for _, id := range near {
+			set[id] = true
+		}
+		for _, c := range top.Cells {
+			if c.Pos.DistanceTo(p) <= c.Radio.MaxRange && !set[c.ID] {
+				t.Fatalf("cell %s in range of %v but missing from Nearby", c.Name, p)
+			}
+		}
 	}
 }
 

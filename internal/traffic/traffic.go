@@ -74,7 +74,7 @@ func (c *CBR) Start(sched *simtime.Scheduler) {
 }
 
 func (c *CBR) emit() {
-	p := packet.New(c.flow.Src, c.flow.Dst, c.flow.Class, c.flow.ID, c.seq, make([]byte, c.size))
+	p := packet.New(c.flow.Src, c.flow.Dst, c.flow.Class, c.flow.ID, c.seq, packet.ZeroPayload(c.size))
 	p.SentAt = c.sched.Now()
 	c.seq++
 	c.sent++
@@ -179,7 +179,7 @@ func (v *VBRVideo) emitFrame() {
 		if chunk > v.mtu {
 			chunk = v.mtu
 		}
-		p := packet.New(v.flow.Src, v.flow.Dst, v.flow.Class, v.flow.ID, v.seq, make([]byte, chunk))
+		p := packet.New(v.flow.Src, v.flow.Dst, v.flow.Class, v.flow.ID, v.seq, packet.ZeroPayload(chunk))
 		p.SentAt = v.sched.Now()
 		v.seq++
 		v.sent++
@@ -210,7 +210,8 @@ type Poisson struct {
 	sink    Sink
 	rng     *simtime.Rand
 	stopped bool
-	nextEvt *simtime.Event
+	nextEvt simtime.Event
+	emitFn  func() // bound once so re-arming never allocates
 	seq     uint32
 	sent    uint64
 	sched   *simtime.Scheduler
@@ -239,26 +240,29 @@ func (p *Poisson) Start(sched *simtime.Scheduler) {
 }
 
 func (p *Poisson) arm() {
+	if p.emitFn == nil {
+		p.emitFn = p.emit
+	}
 	gap := p.rng.ExponentialDuration(p.meanIvl)
-	p.nextEvt = p.sched.After(gap, func() {
-		if p.stopped {
-			return
-		}
-		pkt := packet.New(p.flow.Src, p.flow.Dst, p.flow.Class, p.flow.ID, p.seq, make([]byte, p.size))
-		pkt.SentAt = p.sched.Now()
-		p.seq++
-		p.sent++
-		p.sink(pkt)
-		p.arm()
-	})
+	p.nextEvt = p.sched.After(gap, p.emitFn)
+}
+
+func (p *Poisson) emit() {
+	if p.stopped {
+		return
+	}
+	pkt := packet.New(p.flow.Src, p.flow.Dst, p.flow.Class, p.flow.ID, p.seq, packet.ZeroPayload(p.size))
+	pkt.SentAt = p.sched.Now()
+	p.seq++
+	p.sent++
+	p.sink(pkt)
+	p.arm()
 }
 
 // Stop implements Generator.
 func (p *Poisson) Stop() {
 	p.stopped = true
-	if p.nextEvt != nil {
-		p.nextEvt.Cancel()
-	}
+	p.nextEvt.Cancel()
 }
 
 // Sent implements Generator.

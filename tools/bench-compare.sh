@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# bench-compare.sh OLD.txt NEW.txt — compare two `go test -bench` snapshots.
+#
+# Uses benchstat (golang.org/x/perf/cmd/benchstat) when installed; falls
+# back to a side-by-side extraction of ns/op and allocs/op so the
+# comparison works in minimal containers too. Snapshots are produced with:
+#
+#   make bench-save OUT=old.txt     # before a change
+#   make bench-save OUT=new.txt     # after
+#   make bench-compare OLD=old.txt NEW=new.txt
+set -eu
+
+OLD=${1:?usage: bench-compare.sh old.txt new.txt}
+NEW=${2:?usage: bench-compare.sh old.txt new.txt}
+
+if command -v benchstat >/dev/null 2>&1; then
+    exec benchstat "$OLD" "$NEW"
+fi
+
+echo "benchstat not installed — raw side-by-side (old | new):"
+awk '/^Benchmark/ { printf "%-55s %15s ns/op %12s allocs/op\n", $1, $3, $(NF-1) }' "$OLD" |
+    sort > /tmp/bench-compare-old.$$
+awk '/^Benchmark/ { printf "%-55s %15s ns/op %12s allocs/op\n", $1, $3, $(NF-1) }' "$NEW" |
+    sort > /tmp/bench-compare-new.$$
+paste -d'\n' /tmp/bench-compare-old.$$ /tmp/bench-compare-new.$$ || true
+rm -f /tmp/bench-compare-old.$$ /tmp/bench-compare-new.$$
