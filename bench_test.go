@@ -1,6 +1,7 @@
-// Package repro's benchmark harness: one Benchmark per experiment E1–E8
-// (DESIGN.md §3 maps each to a paper figure/claim) plus micro-benchmarks
-// of the simulator hot paths. Experiment benches run time-scaled
+// Package repro's benchmark harness: one Benchmark per experiment E1–E9
+// (DESIGN.md §3 maps E1–E8 to a paper figure/claim; E9 is the fleet
+// scale sweep at a reduced population) plus micro-benchmarks of the
+// simulator hot paths. Experiment benches run time-scaled
 // scenarios; their per-op cost is "wall time to regenerate the
 // experiment", which tracks simulation throughput.
 package repro
@@ -13,6 +14,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/multitier"
 	"repro/internal/packet"
@@ -67,6 +69,25 @@ func BenchmarkE7ResourceSwitching(b *testing.B) {
 
 func BenchmarkE8PagingAndRSMCLoad(b *testing.B) {
 	benchExperiment(b, experiments.E8PagingAndRSMCLoad)
+}
+
+// BenchmarkE9ScaleSweep tracks fleet-workload throughput at a reduced
+// population (the full 500→10k axis is cmd/mmscale's job): two
+// populations of the default mixed-profile fleet under the multi-tier
+// scheme, with the per-scenario packet arena on.
+func BenchmarkE9ScaleSweep(b *testing.B) {
+	sw := experiments.ScaleSweep{
+		Populations: []int{100, 200},
+		Schemes:     []core.Scheme{core.SchemeMultiTier},
+		Duration:    10 * time.Second,
+		Spec:        fleet.DefaultSpec(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9ScaleSweep(benchOpt, sw); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // benchAll runs the full E1–E8 suite with the given worker count; the

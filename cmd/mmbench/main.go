@@ -1,8 +1,10 @@
-// Command mmbench regenerates every experiment table E1–E8 (DESIGN.md §3
-// maps each to a figure or claim of the paper). Use -scale to shrink run
-// lengths during development, -parallel to spread each experiment's
-// scenarios across workers, and -reps to replicate every scenario and
-// report mean±std cells.
+// Command mmbench regenerates every experiment table E1–E9 (DESIGN.md §3
+// maps E1–E8 to a figure or claim of the paper; E9 is the fleet scale
+// sweep, run here at its reduced suite populations — cmd/mmscale drives
+// the full 500→10k axis). Use -scale to shrink run lengths during
+// development, -parallel to spread each experiment's scenarios across
+// workers, and -reps to replicate every scenario and report mean±std
+// cells.
 //
 // Example:
 //
@@ -36,7 +38,7 @@ func run(args []string) error {
 	var (
 		seed       = fs.Int64("seed", 1, "base seed")
 		scale      = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
-		only       = fs.String("only", "", "run a single experiment (E1..E8)")
+		only       = fs.String("only", "", "run a single experiment (E1..E9)")
 		reps       = fs.Int("reps", 1, "replications per scenario (cells become mean±std)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "scenario workers per experiment")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -89,6 +91,9 @@ func run(args []string) error {
 		{"E6", experiments.E6SchemeComparison},
 		{"E7", experiments.E7ResourceSwitching},
 		{"E8", experiments.E8PagingAndRSMCLoad},
+		{"E9", func(o experiments.Options) (*experiments.Table, error) {
+			return experiments.E9ScaleSweep(o, experiments.SuiteScaleSweep())
+		}},
 	}
 	ran := 0
 	start := time.Now()

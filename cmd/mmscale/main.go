@@ -1,0 +1,146 @@
+// Command mmscale runs the E9 population-scale sweep: heterogeneous
+// fleet workloads (mixed voice/video/data profiles) swept across
+// mobile-node populations and mobility-management schemes, reporting a
+// per-profile QoE table (loss, delivery delay, handoff rate per class).
+//
+// Scale runs are bounded-memory by construction: each scenario owns a
+// private packet arena and per-profile metrics are streaming aggregates,
+// so peak heap tracks the population and topology, never the packet
+// count.
+//
+// Example:
+//
+//	mmscale                                     # 500 → 10k MNs, every scheme
+//	mmscale -mns 5000 -schemes multitier-rsmc   # one cell at scale
+//	mmscale -mns 500,2000 -reps 3 -seed 42      # error bars
+//	mmscale -fleet pedestrian-voice=80,vehicular-video=20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mmscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	def := experiments.DefaultScaleSweep()
+	fs := flag.NewFlagSet("mmscale", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "base seed")
+		scale    = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
+		reps     = fs.Int("reps", 1, "replications per cell (cells become mean±std)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "scenario workers")
+		mns      = fs.String("mns", joinInts(def.Populations), "comma-separated population axis")
+		schemes  = fs.String("schemes", joinSchemes(def.Schemes), "comma-separated schemes to sweep")
+		duration = fs.Duration("duration", def.Duration, "virtual span of each scenario")
+		fleetArg = fs.String("fleet", def.Spec.String(), "population mix as name=share,... (built-in profiles)")
+		memstats = fs.Bool("memstats", false, "print heap statistics after the sweep")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sw := experiments.ScaleSweep{Duration: *duration}
+	var err error
+	if sw.Populations, err = parseInts(*mns); err != nil {
+		return fmt.Errorf("-mns: %w", err)
+	}
+	if sw.Schemes, err = parseSchemes(*schemes); err != nil {
+		return fmt.Errorf("-schemes: %w", err)
+	}
+	if sw.Spec, err = fleet.ParseSpec(*fleetArg); err != nil {
+		return fmt.Errorf("-fleet: %w", err)
+	}
+	opt := experiments.Options{Seed: *seed, TimeScale: *scale, Reps: *reps, Parallel: *parallel}
+	if err := opt.Validate(); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	tbl, err := experiments.E9ScaleSweep(opt, sw)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl)
+	fmt.Fprintf(os.Stderr, "mmscale: %d population(s) x %d scheme(s), %d rep(s), %d worker(s) in %v\n",
+		len(sw.Populations), len(sw.Schemes), *reps, *parallel, time.Since(start).Round(time.Millisecond))
+	if *memstats {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		fmt.Fprintf(os.Stderr, "mmscale: heap-alloc=%dMiB heap-sys=%dMiB total-alloc=%dMiB gc=%d\n",
+			m.HeapAlloc>>20, m.HeapSys>>20, m.TotalAlloc>>20, m.NumGC)
+	}
+	return nil
+}
+
+func joinInts(vals []int) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad population %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no populations")
+	}
+	return out, nil
+}
+
+func joinSchemes(schemes []core.Scheme) string {
+	parts := make([]string, len(schemes))
+	for i, s := range schemes {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseSchemes(s string) ([]core.Scheme, error) {
+	known := make(map[core.Scheme]bool)
+	for _, sc := range core.Schemes() {
+		known[sc] = true
+	}
+	var out []core.Scheme
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sc := core.Scheme(part)
+		if !known[sc] {
+			return nil, fmt.Errorf("unknown scheme %q", part)
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no schemes")
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestRunSmallSweep(t *testing.T) {
+	if err := run([]string{"-mns", "20,40", "-schemes", "multitier-rsmc",
+		"-duration", "3s", "-memstats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunRejectsBadPopulations(t *testing.T) {
+	for _, mns := range []string{"", "0", "-5", "abc", "10,x"} {
+		if err := run([]string{"-mns", mns}); err == nil {
+			t.Fatalf("-mns %q accepted", mns)
+		}
+	}
+}
+
+func TestRunRejectsBadSchemes(t *testing.T) {
+	for _, s := range []string{"", "warp-drive", "multitier-rsmc,nope"} {
+		if err := run([]string{"-mns", "10", "-schemes", s}); err == nil {
+			t.Fatalf("-schemes %q accepted", s)
+		}
+	}
+}
+
+func TestRunRejectsBadFleet(t *testing.T) {
+	if err := run([]string{"-mns", "10", "-fleet", "unknown-profile=1"}); err == nil {
+		t.Fatal("unknown fleet profile accepted")
+	}
+	if err := run([]string{"-mns", "10", "-fleet", "pedestrian-voice=0"}); err == nil {
+		t.Fatal("zero-share fleet accepted")
+	}
+}
+
+func TestRunRejectsDegenerateOptions(t *testing.T) {
+	if err := run([]string{"-mns", "10", "-scale", "0"}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if err := run([]string{"-mns", "10", "-reps", "0"}); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}

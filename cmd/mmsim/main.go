@@ -8,6 +8,7 @@
 //
 //	mmsim -scheme multitier-rsmc -mns 8 -speed 15 -duration 2m -video
 //	mmsim -reps 8 -parallel 4 -seed 42
+//	mmsim -mns 500 -fleet pedestrian-voice=60,vehicular-video=25,stationary-data=15
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/runner"
 	"repro/internal/topology"
 )
@@ -48,6 +50,8 @@ func run(args []string) error {
 		full      = fs.Bool("metrics", false, "print the full metric registry")
 		reps      = fs.Int("reps", 1, "replications of the scenario (runner-derived seeds)")
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "replication workers")
+		fleetArg  = fs.String("fleet", "", "heterogeneous population mix as name=share,... (overrides -mobility/-speed/-voice/-video/-data-interval)")
+		arena     = fs.Bool("arena", false, "per-scenario packet arena instead of the global pool (scale runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +79,14 @@ func run(args []string) error {
 		GuardChannels:     -1,
 		AuthEnabled:       *authOn,
 		Shadowing:         *shadowing,
+		PacketArena:       *arena,
+	}
+	if *fleetArg != "" {
+		spec, err := fleet.ParseSpec(*fleetArg)
+		if err != nil {
+			return err
+		}
+		cfg.Fleet = &spec
 	}
 	if *reps > 1 {
 		return runReplicated(cfg, *reps, *parallel, *full)

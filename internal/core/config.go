@@ -20,6 +20,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/topology"
 )
 
@@ -128,6 +129,20 @@ type Config struct {
 	// Shadowing enables log-normal shadowing on MN measurements; off,
 	// handoffs are deterministic functions of position.
 	Shadowing bool
+	// Fleet optionally assigns the MN population to heterogeneous
+	// profiles (population share, mobility model + speed distribution,
+	// multimedia traffic mix). When set, the homogeneous Mobility,
+	// SpeedMPS and Traffic fields above are ignored: every MN runs its
+	// assigned profile's workload, and per-profile loss/latency/handoff
+	// breakdowns are aggregated under "fleet.profile.<name>" in the
+	// metrics registry. The assignment is a pure function of
+	// (spec, NumMNs, Seed), so fleet runs stay deterministic and
+	// parallel-safe. nil keeps the legacy single-profile behaviour.
+	Fleet *fleet.Spec
+	// PacketArena gives the run a private packet arena instead of the
+	// process-global pool — the per-scenario allocator population-scale
+	// runs use so workers never share packet storage.
+	PacketArena bool
 }
 
 // DefaultConfig is a moderate scenario: one-root topology so every scheme

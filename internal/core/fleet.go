@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// fleetState is the per-run resolution of a fleet.Spec: the seed-stable
+// MN→profile assignment plus one bounded Breakdown aggregate per
+// profile. It exists only when Config.Fleet is set; every accessor on
+// scenario degrades to the legacy homogeneous behaviour when it is nil.
+type fleetState struct {
+	spec    *fleet.Spec
+	assign  []int                // MN index → profile index
+	bds     []*metrics.Breakdown // per profile, registered in the registry
+	traffic []TrafficConfig      // per profile, converted once
+}
+
+// validMobilityKind reports whether the scenario engine knows the kind.
+func validMobilityKind(k MobilityKind) bool {
+	switch k {
+	case MobilityWaypoint, MobilityShuttle, MobilityShuttleDomains,
+		MobilityShuttleTier, MobilityManhattan, MobilityStatic:
+		return true
+	}
+	return false
+}
+
+// buildFleet resolves cfg.Fleet into per-MN assignments and per-profile
+// aggregates. A nil spec is a no-op (legacy homogeneous population).
+func (s *scenario) buildFleet() error {
+	spec := s.cfg.Fleet
+	if spec == nil {
+		return nil
+	}
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	fs := &fleetState{spec: spec}
+	fs.assign = spec.Assign(s.cfg.NumMNs, s.cfg.Seed)
+	// Tally populations from the assignment itself rather than invoking
+	// the apportionment a second time: one derivation, one truth.
+	counts := make([]int, len(spec.Profiles))
+	for _, pi := range fs.assign {
+		counts[pi]++
+	}
+	for i, p := range spec.Profiles {
+		if !validMobilityKind(MobilityKind(p.Mobility)) {
+			return fmt.Errorf("%w: fleet profile %q: unknown mobility %q", ErrBadConfig, p.Name, p.Mobility)
+		}
+		bd := s.reg.Breakdown("fleet.profile." + p.Name)
+		bd.Population = counts[i]
+		fs.bds = append(fs.bds, bd)
+		fs.traffic = append(fs.traffic, TrafficConfig{
+			Voice:            p.Traffic.Voice,
+			Video:            p.Traffic.Video,
+			DataMeanInterval: p.Traffic.DataMeanInterval,
+		})
+	}
+	s.fleet = fs
+	return nil
+}
+
+// breakdown returns MN i's class aggregate, nil without a fleet.
+func (s *scenario) breakdown(i int) *metrics.Breakdown {
+	if s.fleet == nil {
+		return nil
+	}
+	return s.fleet.bds[s.fleet.assign[i]]
+}
+
+// trafficFor returns MN i's downlink mix.
+func (s *scenario) trafficFor(i int) TrafficConfig {
+	if s.fleet == nil {
+		return s.cfg.Traffic
+	}
+	return s.fleet.traffic[s.fleet.assign[i]]
+}
+
+// breakdownForFlow attributes a flow ID to its MN's class aggregate for
+// drop accounting (flow IDs are allocated as mnIndex*4 + {1,2,3}).
+func (fs *fleetState) breakdownForFlow(flowID uint32) *metrics.Breakdown {
+	if flowID == 0 {
+		return nil
+	}
+	mn := int((flowID - 1) / 4)
+	if mn >= len(fs.assign) {
+		return nil
+	}
+	return fs.bds[fs.assign[mn]]
+}
+
+// buildFleetMobility creates one model per MN from its assigned profile:
+// the profile's mobility kind with a per-MN speed drawn from the
+// profile's jitter window. Speeds are recorded into the class aggregate
+// so tables can report the realised distribution.
+func (s *scenario) buildFleetMobility(rng *simtime.Rand) {
+	micros := s.top.CellsOfTier(topology.TierMicro)
+	macros := s.top.CellsOfTier(topology.TierMacro)
+	s.models = make([]mobility.Model, s.cfg.NumMNs)
+	for i := range s.models {
+		pi := s.fleet.assign[i]
+		p := s.fleet.spec.Profiles[pi]
+		speed := p.SpeedMPS
+		if p.SpeedJitter > 0 && speed > 0 {
+			speed *= 1 + p.SpeedJitter*rng.Uniform(-1, 1)
+		}
+		s.fleet.bds[pi].Speed.Observe(speed)
+		s.models[i] = s.modelFor(MobilityKind(p.Mobility), speed, i, micros, macros, rng)
+	}
+}
+
+// noteHandoff counts a committed handoff for MN i: the scenario total
+// plus, under a fleet, the MN's class aggregate.
+func (s *scenario) noteHandoff(i int) {
+	s.handoffs.Inc()
+	if bd := s.breakdown(i); bd != nil {
+		bd.Handoffs.Inc()
+	}
+}
+
+// dataAlloc returns the allocator traffic generators should draw from:
+// the scenario's private arena when Config.PacketArena is set, else nil
+// (the global pool).
+func (s *scenario) dataAlloc() packet.Allocator {
+	if s.arena == nil {
+		return nil
+	}
+	return s.arena
+}

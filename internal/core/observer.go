@@ -15,6 +15,9 @@ type flowObserver struct {
 	account *metrics.LossAccount
 	drops   map[metrics.DropReason]*metrics.Counter
 	reg     *metrics.Registry
+	// fleetOf attributes a data flow to its MN's class aggregate; nil
+	// when the scenario runs without a fleet.
+	fleetOf func(flowID uint32) *metrics.Breakdown
 }
 
 var _ netsim.Observer = (*flowObserver)(nil)
@@ -59,6 +62,11 @@ func (o *flowObserver) OnDrop(at *netsim.Node, pkt *packet.Packet, reason metric
 		o.drops[reason] = c
 	}
 	c.Inc()
+	if o.fleetOf != nil {
+		if bd := o.fleetOf(pkt.FlowID); bd != nil {
+			bd.Flows.OnDropped(reason)
+		}
+	}
 }
 
 // latencyTracker aggregates end-to-end delay/jitter per QoS class.

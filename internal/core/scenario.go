@@ -81,6 +81,11 @@ type scenario struct {
 
 	models   []mobility.Model
 	handoffs *metrics.Counter
+
+	// fleet is the per-run resolution of cfg.Fleet (nil when unset).
+	fleet *fleetState
+	// arena is the run's private packet allocator (nil = global pool).
+	arena *packet.Arena
 }
 
 // Run executes one scenario and returns its results.
@@ -90,6 +95,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.MeasureInterval <= 0 {
 		cfg.MeasureInterval = 100 * time.Millisecond
+	}
+	// An unknown kind would otherwise fall through modelFor's default
+	// case and silently simulate the shuttle; empty stays the documented
+	// shuttle default. Fleet runs ignore the homogeneous kind entirely.
+	if cfg.Fleet == nil && cfg.Mobility != "" && !validMobilityKind(cfg.Mobility) {
+		return nil, fmt.Errorf("%w: unknown mobility %q", ErrBadConfig, cfg.Mobility)
 	}
 	if cfg.Topology.Roots == 0 {
 		cfg.Topology = topology.DefaultConfig()
@@ -109,8 +120,18 @@ func Run(cfg Config) (*Result, error) {
 	s.net = netsim.New(s.sched, s.rng)
 	s.lat = newLatencyTracker(s.reg)
 	s.acct = s.reg.Account("data.flows")
-	s.net.SetObserver(newFlowObserver(s.reg))
+	obs := newFlowObserver(s.reg)
+	s.net.SetObserver(obs)
 	s.handoffs = s.reg.Counter("handoffs")
+	if cfg.PacketArena {
+		s.arena = packet.NewArena()
+	}
+	if err := s.buildFleet(); err != nil {
+		return nil, err
+	}
+	if s.fleet != nil {
+		obs.fleetOf = s.fleet.breakdownForFlow
+	}
 
 	s.inet = s.net.NewNode("inet")
 	s.inetRouter = netsim.NewStaticRouter(s.inet)
@@ -143,44 +164,56 @@ func Run(cfg Config) (*Result, error) {
 	return &Result{Config: cfg, Registry: s.reg, Summary: s.summarize()}, nil
 }
 
-// buildMobility creates one model per MN.
+// buildMobility creates one model per MN: the homogeneous config kind,
+// or each MN's assigned fleet profile when a fleet is configured.
 func (s *scenario) buildMobility() {
 	rng := s.rng.Fork()
+	if s.fleet != nil {
+		s.buildFleetMobility(rng)
+		return
+	}
 	micros := s.top.CellsOfTier(topology.TierMicro)
+	macros := s.top.CellsOfTier(topology.TierMacro)
 	s.models = make([]mobility.Model, s.cfg.NumMNs)
 	for i := range s.models {
-		switch s.cfg.Mobility {
-		case MobilityWaypoint:
-			s.models[i] = mobility.NewWaypoint(mobility.WaypointConfig{
-				Arena:    s.top.Arena,
-				MinSpeed: s.cfg.SpeedMPS * 0.5,
-				MaxSpeed: s.cfg.SpeedMPS * 1.5,
-				MaxPause: 5 * time.Second,
-				Start:    micros[i%len(micros)].Pos,
-			}, rng.Fork())
-		case MobilityManhattan:
-			s.models[i] = mobility.NewManhattan(mobility.ManhattanConfig{
-				Arena:   s.top.Arena,
-				Spacing: 200,
-				Speed:   s.cfg.SpeedMPS,
-				Start:   micros[i%len(micros)].Pos,
-			}, rng.Fork())
-		case MobilityStatic:
-			s.models[i] = mobility.NewStationary(micros[i%len(micros)].Pos)
-		case MobilityShuttleDomains:
-			macros := s.top.CellsOfTier(topology.TierMacro)
-			a := macros[i%len(macros)]
-			b := macros[(i+1)%len(macros)]
-			s.models[i] = mobility.NewPingPong(a.Pos, b.Pos, s.cfg.SpeedMPS)
-		case MobilityShuttleTier:
-			m := micros[i%len(micros)]
-			macro := s.top.Cell(s.top.DomainRoot(m.ID))
-			s.models[i] = mobility.NewPingPong(m.Pos, macro.Pos, s.cfg.SpeedMPS)
-		default: // MobilityShuttle
-			a := micros[i%len(micros)]
-			b := micros[(i+1)%len(micros)]
-			s.models[i] = mobility.NewPingPong(a.Pos, b.Pos, s.cfg.SpeedMPS)
-		}
+		s.models[i] = s.modelFor(s.cfg.Mobility, s.cfg.SpeedMPS, i, micros, macros, rng)
+	}
+}
+
+// modelFor builds one MN's trajectory. The rng draw sequence (one Fork
+// per waypoint/manhattan model, in MN order) is shared by the
+// homogeneous and fleet paths and pinned by the golden suite.
+func (s *scenario) modelFor(kind MobilityKind, speedMPS float64, i int, micros, macros []*topology.Cell, rng *simtime.Rand) mobility.Model {
+	switch kind {
+	case MobilityWaypoint:
+		return mobility.NewWaypoint(mobility.WaypointConfig{
+			Arena:    s.top.Arena,
+			MinSpeed: speedMPS * 0.5,
+			MaxSpeed: speedMPS * 1.5,
+			MaxPause: 5 * time.Second,
+			Start:    micros[i%len(micros)].Pos,
+		}, rng.Fork())
+	case MobilityManhattan:
+		return mobility.NewManhattan(mobility.ManhattanConfig{
+			Arena:   s.top.Arena,
+			Spacing: 200,
+			Speed:   speedMPS,
+			Start:   micros[i%len(micros)].Pos,
+		}, rng.Fork())
+	case MobilityStatic:
+		return mobility.NewStationary(micros[i%len(micros)].Pos)
+	case MobilityShuttleDomains:
+		a := macros[i%len(macros)]
+		b := macros[(i+1)%len(macros)]
+		return mobility.NewPingPong(a.Pos, b.Pos, speedMPS)
+	case MobilityShuttleTier:
+		m := micros[i%len(micros)]
+		macro := s.top.Cell(s.top.DomainRoot(m.ID))
+		return mobility.NewPingPong(m.Pos, macro.Pos, speedMPS)
+	default: // MobilityShuttle
+		a := micros[i%len(micros)]
+		b := micros[(i+1)%len(micros)]
+		return mobility.NewPingPong(a.Pos, b.Pos, speedMPS)
 	}
 }
 
@@ -191,25 +224,39 @@ func mnHome(i int) addr.IP {
 	return ip
 }
 
-// startTraffic wires the configured downlink generators for MN i toward
-// dst and starts them after a 1 s attach grace period.
+// startTraffic wires MN i's downlink generators (its fleet profile's mix,
+// or the homogeneous config) toward dst and starts them after a 1 s
+// attach grace period. Scale runs draw data packets from the scenario
+// arena.
 func (s *scenario) startTraffic(i int, dst addr.IP, rng *simtime.Rand) {
+	tc := s.trafficFor(i)
+	bd := s.breakdown(i)
+	alloc := s.dataAlloc()
 	sink := func(p *packet.Packet) {
 		s.acct.OnSent()
+		if bd != nil {
+			bd.Flows.OnSent()
+		}
 		s.cnRouter.Forward(p)
 	}
 	base := uint32(i)*4 + 1
 	var gens []traffic.Generator
-	if s.cfg.Traffic.Voice {
-		gens = append(gens, traffic.NewVoice(traffic.Flow{ID: base, Src: s.cn.Addr(), Dst: dst}, sink))
+	if tc.Voice {
+		g := traffic.NewVoice(traffic.Flow{ID: base, Src: s.cn.Addr(), Dst: dst}, sink)
+		g.Alloc = alloc
+		gens = append(gens, g)
 	}
-	if s.cfg.Traffic.Video {
-		gens = append(gens, traffic.NewVBRVideo(traffic.Flow{ID: base + 1, Src: s.cn.Addr(), Dst: dst},
-			traffic.DefaultVideoConfig(), rng.Fork(), sink))
+	if tc.Video {
+		g := traffic.NewVBRVideo(traffic.Flow{ID: base + 1, Src: s.cn.Addr(), Dst: dst},
+			traffic.DefaultVideoConfig(), rng.Fork(), sink)
+		g.Alloc = alloc
+		gens = append(gens, g)
 	}
-	if s.cfg.Traffic.DataMeanInterval > 0 {
-		gens = append(gens, traffic.NewPoisson(traffic.Flow{ID: base + 2, Src: s.cn.Addr(), Dst: dst, Class: packet.ClassInteractive},
-			512, s.cfg.Traffic.DataMeanInterval, rng.Fork(), sink))
+	if tc.DataMeanInterval > 0 {
+		g := traffic.NewPoisson(traffic.Flow{ID: base + 2, Src: s.cn.Addr(), Dst: dst, Class: packet.ClassInteractive},
+			512, tc.DataMeanInterval, rng.Fork(), sink)
+		g.Alloc = alloc
+		gens = append(gens, g)
 	}
 	s.sched.At(time.Second, func() {
 		for _, g := range gens {
@@ -218,11 +265,17 @@ func (s *scenario) startTraffic(i int, dst addr.IP, rng *simtime.Rand) {
 	})
 }
 
-// onDelivered returns the per-MN delivery callback.
-func (s *scenario) onDelivered() func(p *packet.Packet) {
+// onDelivered returns MN i's delivery callback: scenario-wide accounting
+// plus, under a fleet, the MN's class aggregate.
+func (s *scenario) onDelivered(i int) func(p *packet.Packet) {
+	bd := s.breakdown(i)
 	return func(p *packet.Packet) {
 		s.acct.OnDelivered(len(p.Payload))
 		s.lat.observe(s.sched.Now(), p)
+		if bd != nil {
+			bd.Flows.OnDelivered(len(p.Payload))
+			bd.Latency.Observe(s.sched.Now() - p.SentAt)
+		}
 	}
 }
 
@@ -313,7 +366,7 @@ func (s *scenario) runMobileIP() error {
 		mnNode := s.net.NewNode(fmt.Sprintf("mn-%d", i))
 		cfg := mobileip.DefaultMNConfig()
 		mn := mobileip.NewMobileNode(mnNode, home, addr.MustParse(haIP), cfg, stats)
-		mn.OnData = s.onDelivered()
+		mn.OnData = s.onDelivered(i)
 		s.startTraffic(i, home, s.rng.Fork())
 
 		current := topology.NoCell
@@ -325,7 +378,7 @@ func (s *scenario) runMobileIP() error {
 				return
 			}
 			current = best
-			s.handoffs.Inc()
+			s.noteHandoff(i)
 			mn.MoveTo(fas[best])
 		})
 	}
@@ -382,7 +435,7 @@ func (s *scenario) runCellularIP(semisoft bool) error {
 		}
 		node := s.net.NewNode(fmt.Sprintf("mn-%d", i))
 		host := cellularip.NewMobileHost(node, ip, cipCfg, stats)
-		host.OnData = s.onDelivered()
+		host.OnData = s.onDelivered(i)
 		s.startTraffic(i, ip, s.rng.Fork())
 
 		current := topology.NoCell
@@ -394,7 +447,7 @@ func (s *scenario) runCellularIP(semisoft bool) error {
 				return
 			}
 			current = best
-			s.handoffs.Inc()
+			s.noteHandoff(i)
 			if semisoft {
 				host.AttachSemisoft(stations[best])
 			} else {
@@ -470,14 +523,14 @@ func (s *scenario) runMultiTier() error {
 		prof := &multitier.Profile{
 			Home:      home,
 			HomeAgent: addr.MustParse(haIP),
-			DemandBPS: s.cfg.Traffic.DemandBPS(),
+			DemandBPS: s.trafficFor(i).DemandBPS(),
 		}
 		dir.AddProfile(prof)
 		node := s.net.NewNode(fmt.Sprintf("mn-%d", i))
 		mob := multitier.NewMobile(node, prof, s.top, dir, pol, multitier.DefaultMobileConfig(),
 			s.measureRng(), stats)
-		mob.OnData = s.onDelivered()
-		mob.OnHandoff = func(multitier.HandoffKind, time.Duration) { s.handoffs.Inc() }
+		mob.OnData = s.onDelivered(i)
+		mob.OnHandoff = func(multitier.HandoffKind, time.Duration) { s.noteHandoff(i) }
 		s.startTraffic(i, home, s.rng.Fork())
 		s.driver(i, mob.Evaluate)
 	}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+// ScaleSweep parameterises E9: which populations and schemes to sweep,
+// how long each scenario runs (scaled by Options.TimeScale like every
+// experiment), and the fleet mix driving the population.
+type ScaleSweep struct {
+	// Populations is the ascending MN-count axis.
+	Populations []int
+	// Schemes are the mobility-management schemes compared at each
+	// population.
+	Schemes []core.Scheme
+	// Duration is the virtual span of each scenario.
+	Duration time.Duration
+	// Spec is the population mix; every (population, scheme) cell runs
+	// the same spec so differences isolate scheme and scale.
+	Spec fleet.Spec
+}
+
+// DefaultScaleSweep is the full sweep cmd/mmscale runs: 500 → 10k MNs
+// under every scheme with the default urban mix.
+func DefaultScaleSweep() ScaleSweep {
+	return ScaleSweep{
+		Populations: []int{500, 1000, 2000, 5000, 10000},
+		Schemes:     core.Schemes(),
+		Duration:    10 * time.Second,
+		Spec:        fleet.DefaultSpec(),
+	}
+}
+
+// SuiteScaleSweep is the reduced sweep mmbench's E9 entry runs so the
+// full table suite stays regenerable in minutes: the same mix and
+// schemes at the lower end of the population axis.
+func SuiteScaleSweep() ScaleSweep {
+	sw := DefaultScaleSweep()
+	sw.Populations = []int{500, 1000, 2000}
+	return sw
+}
+
+// E9ScaleSweep measures per-profile QoE as the population grows: for
+// each (population, scheme) cell it runs the fleet mix and reports the
+// overall and per-profile loss, delivery delay and handoff rate. This is
+// the paper's claims under load — the multi-tier scheme must hold its
+// loss/latency advantage as the mobile population scales by 20x.
+//
+// E9 runs with a per-scenario packet arena and bounded per-profile
+// aggregation (see metrics.Breakdown), so peak memory is set by the
+// population and topology, not by the packet count: a 10k-MN cell holds
+// no per-packet state.
+//
+// E9 is not part of All: its cost axis is population, not duration, so
+// the golden E1–E8 suite stays byte-identical and scale runs are invoked
+// deliberately (cmd/mmscale, mmbench E9, or the pinned golden E9 test).
+func E9ScaleSweep(opt Options, sw ScaleSweep) (*Table, error) {
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(sw.Populations) == 0 || len(sw.Schemes) == 0 {
+		return nil, fmt.Errorf("%w: empty scale sweep", ErrBadOptions)
+	}
+	if err := sw.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	return opt.run(e9Plan(opt, sw))
+}
+
+func e9Plan(opt Options, sw ScaleSweep) plan {
+	type meta struct {
+		mns    int
+		scheme core.Scheme
+	}
+	var jobs []runner.Job
+	var metas []meta
+	for _, n := range sw.Populations {
+		for _, scheme := range sw.Schemes {
+			cfg := core.DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.Topology = oneRoot()
+			cfg.Duration = opt.scale(sw.Duration)
+			cfg.NumMNs = n
+			spec := sw.Spec
+			cfg.Fleet = &spec
+			cfg.PacketArena = true
+			jobs = append(jobs, runner.Job{Label: fmt.Sprintf("%s@%d-MNs", scheme, n), Config: cfg})
+			metas = append(metas, meta{n, scheme})
+		}
+	}
+	return plan{
+		num:  9,
+		jobs: jobs,
+		render: func(res []runner.JobResult) (*Table, error) {
+			t := &Table{
+				ID:     "E9",
+				Title:  fmt.Sprintf("Scale sweep: per-profile QoE vs population (mix %s)", sw.Spec.String()),
+				Header: []string{"MNs", "scheme", "profile", "mns", "speed", "loss", "mean delay", "p95 delay", "handoffs/MN"},
+			}
+			for i, r := range res {
+				m := metas[i]
+				t.AddRow(fmtI(m.mns), string(m.scheme), "all", fmtI(m.mns), "",
+					fmtStatPct(r.LossRate()),
+					fmtStatDur(r.MeanLatency()),
+					fmtStatDur(r.P95Latency()),
+					fmtStatF(r.Stat(func(res *core.Result) float64 {
+						return float64(res.Summary.Handoffs) / float64(res.Config.NumMNs)
+					})))
+				for _, p := range sw.Spec.Profiles {
+					name := p.Name
+					bd := func(res *core.Result) *metrics.Breakdown {
+						return res.Registry.Breakdown("fleet.profile." + name)
+					}
+					pop := r.Stat(func(res *core.Result) float64 { return float64(bd(res).Population) })
+					t.AddRow("", "", name, fmtI(int(pop.Mean)),
+						fmtStatF(r.Stat(func(res *core.Result) float64 {
+							return bd(res).Speed.Mean()
+						})),
+						fmtStatPct(r.Stat(func(res *core.Result) float64 {
+							b := bd(res)
+							if b.Flows.Sent == 0 {
+								return 0
+							}
+							rate := 1 - float64(b.Flows.Delivered)/float64(b.Flows.Sent)
+							if rate < 0 {
+								rate = 0
+							}
+							return rate
+						})),
+						fmtStatDur(r.Stat(func(res *core.Result) float64 {
+							return bd(res).Latency.Mean().Seconds()
+						})),
+						fmtStatDur(r.Stat(func(res *core.Result) float64 {
+							return bd(res).Latency.Quantile(0.95).Seconds()
+						})),
+						fmtStatF(r.Stat(func(res *core.Result) float64 {
+							b := bd(res)
+							if b.Population == 0 {
+								return 0
+							}
+							return float64(b.Handoffs.Value()) / float64(b.Population)
+						})))
+				}
+			}
+			t.AddNote("loss is the undelivered fraction per class; only multitier-rsmc enforces QoS admission, so past cell capacity it sheds load at admission while the flat schemes (no admission model) keep delivering")
+			t.AddNote("bounded memory: per-scenario packet arena + streaming per-profile aggregates, no per-packet retention")
+			return t, nil
+		},
+	}
+}

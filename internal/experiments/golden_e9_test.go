@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// The golden E9 file pins the byte-exact scale-sweep table at a fixed
+// seed and a reduced population, proving the fleet pipeline end to end:
+// profile assignment, per-MN mobility/traffic synthesis, the per-scenario
+// packet arena and the streaming per-profile aggregation are all
+// deterministic. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenE9 -update-golden
+const goldenE9Path = "testdata/golden_e9.txt"
+
+// goldenE9Sweep is the pinned miniature sweep: every scheme, two small
+// populations, the default mix. Small enough to run in CI, large enough
+// that every profile gets MNs and every scheme hands off.
+func goldenE9Sweep() ScaleSweep {
+	return ScaleSweep{
+		Populations: []int{40, 80},
+		Schemes:     core.Schemes(),
+		Duration:    10 * time.Second,
+		Spec:        fleet.DefaultSpec(),
+	}
+}
+
+func goldenE9Options() Options {
+	return Options{Seed: 7, TimeScale: 0.05, Reps: 2, Parallel: 1}
+}
+
+func TestGoldenE9ByteIdentical(t *testing.T) {
+	tbl, err := E9ScaleSweep(goldenE9Options(), goldenE9Sweep())
+	if err != nil {
+		t.Fatalf("E9ScaleSweep: %v", err)
+	}
+	got := tbl.String() + "\n"
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenE9Path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenE9Path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenE9Path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenE9Path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("E9 output diverged from golden.\nFirst diff at byte %d.\ngot:\n%s\nwant:\n%s",
+			firstDiff(got, string(want)), got, want)
+	}
+}
+
+// TestGoldenE9ParallelMatches proves fleet scale runs are parallel-safe:
+// the same sweep on many workers renders the same bytes as sequential.
+func TestGoldenE9ParallelMatches(t *testing.T) {
+	opt := goldenE9Options()
+	seq, err := E9ScaleSweep(opt, goldenE9Sweep())
+	if err != nil {
+		t.Fatalf("sequential E9: %v", err)
+	}
+	opt.Parallel = 8
+	par, err := E9ScaleSweep(opt, goldenE9Sweep())
+	if err != nil {
+		t.Fatalf("parallel E9: %v", err)
+	}
+	if s, p := seq.String(), par.String(); s != p {
+		t.Fatalf("parallel E9 diverged from sequential at byte %d", firstDiff(s, p))
+	}
+}
+
+// TestE9EveryProfilePopulated guards the table contents (not just the
+// bytes): each cell's per-profile rows report non-zero populations that
+// sum exactly to the cell's MN count.
+func TestE9EveryProfilePopulated(t *testing.T) {
+	sw := goldenE9Sweep()
+	tbl, err := E9ScaleSweep(goldenE9Options(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := len(sw.Spec.Profiles)
+	cells := 0
+	for i, row := range tbl.Rows {
+		if row[2] != "all" {
+			continue
+		}
+		cells++
+		cellMNs, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("cell row %d has non-numeric MNs %q", i, row[3])
+		}
+		sum := 0
+		for j := 1; j <= profiles; j++ {
+			prow := tbl.Rows[i+j]
+			if prow[2] != sw.Spec.Profiles[j-1].Name {
+				t.Fatalf("row %d: profile %q out of order (want %q)", i+j, prow[2], sw.Spec.Profiles[j-1].Name)
+			}
+			pop, err := strconv.Atoi(prow[3])
+			if err != nil || pop <= 0 {
+				t.Fatalf("profile %q reports population %q", prow[2], prow[3])
+			}
+			sum += pop
+		}
+		if sum != cellMNs {
+			t.Fatalf("row %d: profile populations sum to %d, cell has %d MNs", i, sum, cellMNs)
+		}
+	}
+	if want := len(sw.Populations) * len(sw.Schemes); cells != want {
+		t.Fatalf("table has %d cells, want %d", cells, want)
+	}
+}
+
+func TestE9RejectsEmptySweep(t *testing.T) {
+	if _, err := E9ScaleSweep(Options{}, ScaleSweep{}); err == nil {
+		t.Fatal("E9ScaleSweep accepted an empty sweep")
+	}
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestStreamStatMoments(t *testing.T) {
+	var s StreamStat
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample stddev of the classic example: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std()-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std(), want)
+	}
+}
+
+func TestStreamStatMergeMatchesSequential(t *testing.T) {
+	var whole, a, b StreamStat
+	for i := 0; i < 100; i++ {
+		v := float64(i*i%37) + 0.25
+		whole.Observe(v)
+		if i < 40 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), whole.Count())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Std()-whole.Std()) > 1e-9 {
+		t.Fatalf("merged std = %v, want %v", a.Std(), whole.Std())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestBreakdownBoundedMemory(t *testing.T) {
+	// The class aggregate must not retain per-packet state: its size is
+	// fixed at construction and observing a million samples allocates
+	// nothing beyond the drop-reason map's few entries.
+	b := NewBreakdown()
+	for i := 0; i < 1_000_000; i++ {
+		b.Flows.OnSent()
+		if i%10 == 0 {
+			b.Flows.OnDropped(DropHandoff)
+		} else {
+			b.Flows.OnDelivered(160)
+			b.Latency.Observe(time.Duration(i%5000) * time.Microsecond)
+		}
+	}
+	if b.Flows.Sent != 1_000_000 {
+		t.Fatalf("sent = %d", b.Flows.Sent)
+	}
+	if got := b.Latency.Count(); got != 900_000 {
+		t.Fatalf("latency samples = %d", got)
+	}
+	if len(b.Flows.Drops) != 1 {
+		t.Fatalf("drop reasons = %d", len(b.Flows.Drops))
+	}
+	// Histogram is a fixed-size value: no backing slices to grow.
+	if unsafe.Sizeof(Histogram{}) != unsafe.Sizeof(b.Latency) {
+		t.Fatal("latency histogram changed representation")
+	}
+}
+
+func TestRegistryBreakdownRenderAndReuse(t *testing.T) {
+	r := NewRegistry()
+	b := r.Breakdown("fleet.profile.pedestrian-voice")
+	if b != r.Breakdown("fleet.profile.pedestrian-voice") {
+		t.Fatal("Breakdown did not return the same aggregate on reuse")
+	}
+	b.Population = 60
+	b.Flows.OnSent()
+	b.Flows.OnDelivered(160)
+	b.Handoffs.Inc()
+	out := r.Render()
+	if out == "" {
+		t.Fatal("Render returned nothing")
+	}
+	if want := "fleet.profile.pedestrian-voice"; !strings.Contains(out, want) {
+		t.Fatalf("Render missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "mns=60") {
+		t.Fatalf("Render missing population:\n%s", out)
+	}
+}

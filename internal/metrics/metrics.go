@@ -203,6 +203,7 @@ type Registry struct {
 	histograms map[string]*Histogram
 	samples    map[string]*Sample
 	accounts   map[string]*LossAccount
+	breakdowns map[string]*Breakdown
 }
 
 // NewRegistry returns an empty registry.
@@ -212,6 +213,7 @@ func NewRegistry() *Registry {
 		histograms: make(map[string]*Histogram),
 		samples:    make(map[string]*Sample),
 		accounts:   make(map[string]*LossAccount),
+		breakdowns: make(map[string]*Breakdown),
 	}
 }
 
@@ -289,6 +291,8 @@ func (r *Registry) Render() string {
 			fmt.Fprintf(&b, "%-42s n=%d mean=%.3f min=%.3f max=%.3f\n", name, s.Count(), s.Mean(), s.Min(), s.Max())
 		case r.accounts[name] != nil:
 			fmt.Fprintf(&b, "%-42s %s\n", name, r.accounts[name])
+		case r.breakdowns[name] != nil:
+			fmt.Fprintf(&b, "%-42s %s\n", name, r.breakdowns[name])
 		}
 	}
 	return b.String()

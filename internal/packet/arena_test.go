@@ -1,0 +1,121 @@
+package packet
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func arenaAddrs() (addr.IP, addr.IP) {
+	return addr.MustParse("10.0.0.1"), addr.MustParse("10.1.0.1")
+}
+
+func TestArenaRecyclesPackets(t *testing.T) {
+	a := NewArena()
+	src, dst := arenaAddrs()
+	p := NewFrom(a, src, dst, ClassConversational, 1, 1, ZeroPayload(160))
+	if a.Allocated() != 1 || a.Reused() != 0 {
+		t.Fatalf("after first Get: allocated=%d reused=%d", a.Allocated(), a.Reused())
+	}
+	Release(p)
+	if a.FreeLen() != 1 {
+		t.Fatalf("free list = %d after Release", a.FreeLen())
+	}
+	q := NewFrom(a, src, dst, ClassConversational, 1, 2, ZeroPayload(160))
+	if q != p {
+		t.Fatal("arena did not recycle the released packet")
+	}
+	if a.Allocated() != 1 || a.Reused() != 1 {
+		t.Fatalf("after recycle: allocated=%d reused=%d", a.Allocated(), a.Reused())
+	}
+	if q.Seq != 2 || q.released {
+		t.Fatalf("recycled packet not reinitialised: %+v", q)
+	}
+	Release(q)
+}
+
+func TestArenaSteadyStateIsBounded(t *testing.T) {
+	a := NewArena()
+	src, dst := arenaAddrs()
+	// A pipeline of depth 8 cycled 10k times must allocate exactly 8
+	// packets: the arena's working set is the peak in-flight count.
+	var inflight []*Packet
+	for i := 0; i < 10_000; i++ {
+		inflight = append(inflight, NewFrom(a, src, dst, ClassStreaming, 2, uint32(i), ZeroPayload(1000)))
+		if len(inflight) == 8 {
+			for _, p := range inflight {
+				Release(p)
+			}
+			inflight = inflight[:0]
+		}
+	}
+	for _, p := range inflight {
+		Release(p)
+	}
+	if a.Allocated() != 8 {
+		t.Fatalf("allocated %d packets for a depth-8 pipeline", a.Allocated())
+	}
+}
+
+func TestCloneAndEncapsulateStayInArena(t *testing.T) {
+	a := NewArena()
+	src, dst := arenaAddrs()
+	p := NewFrom(a, src, dst, ClassConversational, 1, 7, ZeroPayload(160))
+	c := p.Clone()
+	if c.alloc != Allocator(a) {
+		t.Fatal("Clone left the arena")
+	}
+	tun, err := Encapsulate(addr.MustParse("172.16.0.1"), addr.MustParse("10.4.0.2"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tun.alloc != Allocator(a) {
+		t.Fatal("Encapsulate left the arena")
+	}
+	Release(tun) // releases p recursively
+	Release(c)
+	// All three packets (p, clone, tunnel header) are back in the arena.
+	if a.FreeLen() != 3 {
+		t.Fatalf("free list = %d, want 3", a.FreeLen())
+	}
+}
+
+func TestGlobalPathUnchanged(t *testing.T) {
+	src, dst := arenaAddrs()
+	p := New(src, dst, ClassConversational, 1, 1, ZeroPayload(160))
+	if p.alloc != nil {
+		t.Fatal("package-level New must use the global pool")
+	}
+	c := p.Clone()
+	if c.alloc != nil {
+		t.Fatal("clone of a global packet must stay global")
+	}
+	Release(p)
+	Release(c)
+}
+
+func TestArenaDoubleReleaseStillPanics(t *testing.T) {
+	a := NewArena()
+	src, dst := arenaAddrs()
+	p := NewFrom(a, src, dst, ClassConversational, 1, 1, nil)
+	Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release of an arena packet did not panic")
+		}
+	}()
+	Release(p)
+}
+
+// BenchmarkArenaCycle measures the arena New/Release round trip — the
+// per-scenario replacement for the global pool cycle.
+func BenchmarkArenaCycle(b *testing.B) {
+	a := NewArena()
+	src, dst := arenaAddrs()
+	payload := ZeroPayload(160)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := NewFrom(a, src, dst, ClassConversational, 1, uint32(i), payload)
+		Release(p)
+	}
+}

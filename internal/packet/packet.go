@@ -125,18 +125,52 @@ type Packet struct {
 	// released guards against use of a packet after Release returned it
 	// to the pool.
 	released bool
+	// alloc is the Allocator that owns this packet's storage; nil means
+	// the process-global pool. Release hands the packet back to it, and
+	// Clone/Encapsulate draw derived packets from the same allocator so
+	// a scenario's arena keeps its packets even through tunnels and
+	// bicast duplication.
+	alloc Allocator
 }
 
-// pool recycles Packet structs across the simulator's hot send/deliver
-// path. It is shared by every scenario in the process; because the
-// constructors below initialise every field, recycling cannot leak state
-// between runs, and sync.Pool keeps concurrent scenario workers safe.
-var pool = sync.Pool{New: func() any { return new(Packet) }}
+// Allocator recycles Packet structs. The process-global sync.Pool is the
+// default (safe for concurrent scenario workers); scale runs install a
+// per-scenario Arena so very high worker counts never contend on one
+// shared pool.
+type Allocator interface {
+	// Get returns a packet whose fields are unspecified; callers zero it.
+	Get() *Packet
+	// Put recycles a packet. The packet must not be touched afterwards.
+	Put(*Packet)
+}
 
-// get returns a zeroed packet from the free list.
-func get() *Packet {
-	p := pool.Get().(*Packet)
-	*p = Packet{}
+// poolAllocator is the default process-global allocator. sync.Pool is
+// already sharded per P, so independent scenario workers mostly hit
+// private shards; because the constructors initialise every field,
+// recycling cannot leak state between runs.
+type poolAllocator struct{ pool sync.Pool }
+
+func (a *poolAllocator) Get() *Packet {
+	if p, ok := a.pool.Get().(*Packet); ok {
+		return p
+	}
+	return new(Packet)
+}
+
+func (a *poolAllocator) Put(p *Packet) { a.pool.Put(p) }
+
+// global is the default allocator behind the package-level constructors.
+var global = &poolAllocator{}
+
+// get returns a zeroed packet from the given allocator (nil = global).
+func get(a Allocator) *Packet {
+	if a == nil {
+		p := global.Get()
+		*p = Packet{}
+		return p
+	}
+	p := a.Get()
+	*p = Packet{alloc: a}
 	return p
 }
 
@@ -163,8 +197,13 @@ func Release(p *Packet) {
 		panic("packet: double Release")
 	}
 	inner := p.Inner
-	*p = Packet{released: true}
-	pool.Put(p)
+	a := p.alloc
+	*p = Packet{released: true, alloc: a}
+	if a == nil {
+		global.Put(p)
+	} else {
+		a.Put(p)
+	}
 	Release(inner)
 }
 
@@ -194,9 +233,16 @@ const (
 )
 
 // New returns a data packet with a full TTL. The packet comes from the
-// free list; hand it back with Release when it leaves the network.
+// global free list; hand it back with Release when it leaves the network.
 func New(src, dst addr.IP, class Class, flowID, seq uint32, payload []byte) *Packet {
-	p := get()
+	return NewFrom(nil, src, dst, class, flowID, seq, payload)
+}
+
+// NewFrom is New drawing from the given allocator (nil = the global
+// pool). Traffic generators in arena-backed scale scenarios use it so
+// every data packet cycles through the scenario's own arena.
+func NewFrom(a Allocator, src, dst addr.IP, class Class, flowID, seq uint32, payload []byte) *Packet {
+	p := get(a)
 	p.Src = src
 	p.Dst = dst
 	p.TTL = MaxTTL
@@ -210,10 +256,10 @@ func New(src, dst addr.IP, class Class, flowID, seq uint32, payload []byte) *Pac
 }
 
 // NewControl returns a control packet of the given protocol whose payload
-// is a marshalled message. The packet comes from the free list; hand it
-// back with Release when it leaves the network.
+// is a marshalled message. The packet comes from the global free list;
+// hand it back with Release when it leaves the network.
 func NewControl(src, dst addr.IP, proto Protocol, payload []byte) *Packet {
-	p := get()
+	p := get(nil)
 	p.Src = src
 	p.Dst = dst
 	p.TTL = MaxTTL
@@ -246,13 +292,14 @@ func (p *Packet) Size() int {
 // fields are copied so the two packets age independently in queues, while
 // the payload bytes are shared copy-on-write (both packets are marked
 // shared; WritablePayload copies before mutating). Encapsulated inner
-// packets are cloned recursively.
+// packets are cloned recursively. The copy comes from the same allocator
+// as the original.
 func (p *Packet) Clone() *Packet {
 	if p == nil {
 		return nil
 	}
-	q := get()
-	*q = *p
+	q := get(p.alloc)
+	*q = *p // alloc is carried along: p and q share the same allocator
 	if p.Payload != nil {
 		p.sharedPayload = true
 		q.sharedPayload = true
@@ -301,11 +348,13 @@ func (p *Packet) String() string {
 // Encapsulate wraps inner in an IP-in-IP tunnel packet from src to dst,
 // as a Home Agent does when forwarding to a care-of address. The inner
 // packet is not copied; tunnel endpoints own the packet for its transit.
+// The tunnel header comes from the inner packet's allocator, so tunnelled
+// arena packets stay wholly within their scenario's arena.
 func Encapsulate(src, dst addr.IP, inner *Packet) (*Packet, error) {
 	if inner == nil {
 		return nil, ErrNilPacket
 	}
-	p := get()
+	p := get(inner.alloc)
 	p.Src = src
 	p.Dst = dst
 	p.TTL = MaxTTL
@@ -373,7 +422,7 @@ func Unmarshal(b []byte) (*Packet, error) {
 	if len(b) < HeaderSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
 	}
-	p := get()
+	p := get(nil)
 	p.Src = addr.IP(binary.BigEndian.Uint32(b[0:4]))
 	p.Dst = addr.IP(binary.BigEndian.Uint32(b[4:8]))
 	p.TTL = b[8]

@@ -44,6 +44,9 @@ type CBR struct {
 	size     int
 	interval time.Duration
 	sink     Sink
+	// Alloc optionally draws packets from a scenario-owned allocator
+	// instead of the global pool; set before Start.
+	Alloc packet.Allocator
 
 	seq    uint32
 	sent   uint64
@@ -74,7 +77,7 @@ func (c *CBR) Start(sched *simtime.Scheduler) {
 }
 
 func (c *CBR) emit() {
-	p := packet.New(c.flow.Src, c.flow.Dst, c.flow.Class, c.flow.ID, c.seq, packet.ZeroPayload(c.size))
+	p := packet.NewFrom(c.Alloc, c.flow.Src, c.flow.Dst, c.flow.Class, c.flow.ID, c.seq, packet.ZeroPayload(c.size))
 	p.SentAt = c.sched.Now()
 	c.seq++
 	c.sent++
@@ -105,6 +108,9 @@ type VBRVideo struct {
 	mtu       int
 	sink      Sink
 	rng       *simtime.Rand
+	// Alloc optionally draws packets from a scenario-owned allocator
+	// instead of the global pool; set before Start.
+	Alloc packet.Allocator
 
 	seq    uint32
 	sent   uint64
@@ -179,7 +185,7 @@ func (v *VBRVideo) emitFrame() {
 		if chunk > v.mtu {
 			chunk = v.mtu
 		}
-		p := packet.New(v.flow.Src, v.flow.Dst, v.flow.Class, v.flow.ID, v.seq, packet.ZeroPayload(chunk))
+		p := packet.NewFrom(v.Alloc, v.flow.Src, v.flow.Dst, v.flow.Class, v.flow.ID, v.seq, packet.ZeroPayload(chunk))
 		p.SentAt = v.sched.Now()
 		v.seq++
 		v.sent++
@@ -209,6 +215,9 @@ type Poisson struct {
 	meanIvl time.Duration
 	sink    Sink
 	rng     *simtime.Rand
+	// Alloc optionally draws packets from a scenario-owned allocator
+	// instead of the global pool; set before Start.
+	Alloc   packet.Allocator
 	stopped bool
 	nextEvt simtime.Event
 	emitFn  func() // bound once so re-arming never allocates
@@ -251,7 +260,7 @@ func (p *Poisson) emit() {
 	if p.stopped {
 		return
 	}
-	pkt := packet.New(p.flow.Src, p.flow.Dst, p.flow.Class, p.flow.ID, p.seq, packet.ZeroPayload(p.size))
+	pkt := packet.NewFrom(p.Alloc, p.flow.Src, p.flow.Dst, p.flow.Class, p.flow.ID, p.seq, packet.ZeroPayload(p.size))
 	pkt.SentAt = p.sched.Now()
 	p.seq++
 	p.sent++

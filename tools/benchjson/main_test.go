@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// canned is a real-shaped `go test -bench -benchmem` transcript: header
+// lines, benchmark results with and without allocation columns, a
+// sub-benchmark with a slash name, PASS/ok trailers, and noise that the
+// parser must skip.
+const canned = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkE6SchemeComparison-8  	       3	 736063066 ns/op	286013856 B/op	 4522096 allocs/op
+BenchmarkE1MobileIPRegistration-8   	      12	  95474148 ns/op	 1474556 B/op	   18279 allocs/op
+BenchmarkScenarioPerScheme/multitier-rsmc-8 	       5	 223456789 ns/op
+BenchmarkSchedulerEventChurn-8	 5000000	       231 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBroken-8	not-a-number	 100 ns/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseCannedOutput(t *testing.T) {
+	rep, err := parse(strings.NewReader(canned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("header = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4 (broken line must be skipped): %+v", len(rep.Results), rep.Results)
+	}
+	// Results are sorted by name and the -8 cpu suffix is stripped.
+	wantNames := []string{
+		"BenchmarkE1MobileIPRegistration",
+		"BenchmarkE6SchemeComparison",
+		"BenchmarkScenarioPerScheme/multitier-rsmc",
+		"BenchmarkSchedulerEventChurn",
+	}
+	for i, want := range wantNames {
+		if rep.Results[i].Name != want {
+			t.Fatalf("result %d name = %q, want %q", i, rep.Results[i].Name, want)
+		}
+	}
+	e6 := rep.Results[1]
+	if e6.Iterations != 3 || e6.NsPerOp != 736063066 || e6.BytesPerOp != 286013856 || e6.AllocsPerOp != 4522096 {
+		t.Fatalf("E6 measurements wrong: %+v", e6)
+	}
+	// A line without -benchmem columns still parses ns/op.
+	sub := rep.Results[2]
+	if sub.NsPerOp != 223456789 || sub.BytesPerOp != 0 || sub.AllocsPerOp != 0 {
+		t.Fatalf("sub-bench measurements wrong: %+v", sub)
+	}
+}
+
+func TestParseEmittedJSONRoundTrips(t *testing.T) {
+	rep, err := parse(strings.NewReader(canned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not round trip: %v\n%s", err, buf.String())
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("round trip lost results: %d -> %d", len(rep.Results), len(back.Results))
+	}
+	// Omitted-zero fields: the alloc-free benchmark keeps explicit zeros
+	// out of the document.
+	if strings.Contains(buf.String(), `"bytes_per_op": 0`) {
+		t.Fatalf("zero B/op not omitted:\n%s", buf.String())
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("empty input produced %d results", len(rep.Results))
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8",                   // too few fields
+		"BenchmarkX-8 abc 100 ns/op",     // bad iteration count
+		"BenchmarkX-8 3 garbage garbage", // no ns/op measurement
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}
