@@ -10,7 +10,7 @@ OUT ?= bench.txt
 OLD ?= old.txt
 NEW ?= new.txt
 # BENCH_JSON is the perf-trajectory snapshot bench-json writes.
-BENCH_JSON ?= BENCH_3.json
+BENCH_JSON ?= BENCH_4.json
 
 .PHONY: verify build test check vet race bench bench-smoke bench-save bench-json bench-compare
 

@@ -1,6 +1,7 @@
-// Package repro's benchmark harness: one Benchmark per experiment E1–E9
-// (DESIGN.md §3 maps E1–E8 to a paper figure/claim; E9 is the fleet
-// scale sweep at a reduced population) plus micro-benchmarks of the
+// Package repro's benchmark harness: one Benchmark per experiment
+// E1–E10 (DESIGN.md §3 maps E1–E8 to a paper figure/claim; E9 is the
+// fleet scale sweep and E10 the capacity×population matrix, both at
+// reduced populations) plus micro-benchmarks of the
 // simulator hot paths. Experiment benches run time-scaled
 // scenarios; their per-op cost is "wall time to regenerate the
 // experiment", which tracks simulation throughput.
@@ -85,6 +86,26 @@ func BenchmarkE9ScaleSweep(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.E9ScaleSweep(benchOpt, sw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10CapacityMatrix tracks dimensioned-arena throughput at a
+// reduced population (the full 500→10k matrix is cmd/mmscale
+// -dimension's job): two populations, fixed and dimensioned columns,
+// multi-tier only — the planner, root-grid build and budget-override
+// paths all on the clock.
+func BenchmarkE10CapacityMatrix(b *testing.B) {
+	m := experiments.CapacityMatrix{
+		Populations: []int{100, 200},
+		Schemes:     []core.Scheme{core.SchemeMultiTier},
+		Duration:    10 * time.Second,
+		Spec:        fleet.DefaultSpec(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10CapacityMatrix(benchOpt, m); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,10 +1,10 @@
-// Command mmbench regenerates every experiment table E1–E9 (DESIGN.md §3
-// maps E1–E8 to a figure or claim of the paper; E9 is the fleet scale
-// sweep, run here at its reduced suite populations — cmd/mmscale drives
-// the full 500→10k axis). Use -scale to shrink run lengths during
-// development, -parallel to spread each experiment's scenarios across
-// workers, and -reps to replicate every scenario and report mean±std
-// cells.
+// Command mmbench regenerates every experiment table E1–E10 (DESIGN.md
+// §3 maps E1–E8 to a figure or claim of the paper; E9 is the fleet scale
+// sweep and E10 the capacity×population matrix, both run here at their
+// reduced suite shapes — cmd/mmscale drives the full 500→10k axes). Use
+// -scale to shrink run lengths during development, -parallel to spread
+// each experiment's scenarios across workers, and -reps to replicate
+// every scenario and report mean±std cells.
 //
 // Example:
 //
@@ -38,7 +38,7 @@ func run(args []string) error {
 	var (
 		seed       = fs.Int64("seed", 1, "base seed")
 		scale      = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
-		only       = fs.String("only", "", "run a single experiment (E1..E9)")
+		only       = fs.String("only", "", "run a single experiment (E1..E10)")
 		reps       = fs.Int("reps", 1, "replications per scenario (cells become mean±std)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "scenario workers per experiment")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -93,6 +93,9 @@ func run(args []string) error {
 		{"E8", experiments.E8PagingAndRSMCLoad},
 		{"E9", func(o experiments.Options) (*experiments.Table, error) {
 			return experiments.E9ScaleSweep(o, experiments.SuiteScaleSweep())
+		}},
+		{"E10", func(o experiments.Options) (*experiments.Table, error) {
+			return experiments.E10CapacityMatrix(o, experiments.SuiteCapacityMatrix())
 		}},
 	}
 	ran := 0

@@ -1,7 +1,10 @@
-// Command mmscale runs the E9 population-scale sweep: heterogeneous
-// fleet workloads (mixed voice/video/data profiles) swept across
-// mobile-node populations and mobility-management schemes, reporting a
-// per-profile QoE table (loss, delivery delay, handoff rate per class).
+// Command mmscale runs the population-scale experiments: the E9 scale
+// sweep (heterogeneous fleet workloads swept across mobile-node
+// populations and mobility-management schemes, reporting a per-profile
+// QoE table) and, with -dimension, the E10 capacity×population matrix
+// (every population run on the fixed seed topology and again on a
+// demand-dimensioned arena, reporting reason-coded admission outcomes
+// and per-tier occupancy alongside QoE).
 //
 // Scale runs are bounded-memory by construction: each scenario owns a
 // private packet arena and per-profile metrics are streaming aggregates,
@@ -10,10 +13,13 @@
 //
 // Example:
 //
-//	mmscale                                     # 500 → 10k MNs, every scheme
+//	mmscale                                     # E9: 500 → 10k MNs, every scheme
 //	mmscale -mns 5000 -schemes multitier-rsmc   # one cell at scale
 //	mmscale -mns 500,2000 -reps 3 -seed 42      # error bars
 //	mmscale -fleet pedestrian-voice=80,vehicular-video=20
+//	mmscale -signalling                         # per-profile location updates + pages
+//	mmscale -dimension                          # E10: fixed vs dimensioned matrix
+//	mmscale -dimension -density dense -headroom 1.5
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/capacity"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
@@ -41,20 +48,24 @@ func run(args []string) error {
 	def := experiments.DefaultScaleSweep()
 	fs := flag.NewFlagSet("mmscale", flag.ContinueOnError)
 	var (
-		seed     = fs.Int64("seed", 1, "base seed")
-		scale    = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
-		reps     = fs.Int("reps", 1, "replications per cell (cells become mean±std)")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "scenario workers")
-		mns      = fs.String("mns", joinInts(def.Populations), "comma-separated population axis")
-		schemes  = fs.String("schemes", joinSchemes(def.Schemes), "comma-separated schemes to sweep")
-		duration = fs.Duration("duration", def.Duration, "virtual span of each scenario")
-		fleetArg = fs.String("fleet", def.Spec.String(), "population mix as name=share,... (built-in profiles)")
-		memstats = fs.Bool("memstats", false, "print heap statistics after the sweep")
+		seed       = fs.Int64("seed", 1, "base seed")
+		scale      = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
+		reps       = fs.Int("reps", 1, "replications per cell (cells become mean±std)")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "scenario workers")
+		mns        = fs.String("mns", joinInts(def.Populations), "comma-separated population axis")
+		schemes    = fs.String("schemes", joinSchemes(def.Schemes), "comma-separated schemes to sweep")
+		duration   = fs.Duration("duration", def.Duration, "virtual span of each scenario")
+		fleetArg   = fs.String("fleet", def.Spec.String(), "population mix as name=share,... (built-in profiles)")
+		signalling = fs.Bool("signalling", false, "add per-profile location-update and paging columns to the E9 sweep (E10 always includes them)")
+		dimension  = fs.Bool("dimension", false, "run the E10 capacity matrix: fixed vs dimensioned topology")
+		density    = fs.String("density", string(capacity.DensityUrban), "dimensioning density preset (sparse|urban|dense)")
+		headroom   = fs.Float64("headroom", capacity.DefaultHeadroom, "dimensioning capacity headroom factor (>= 1)")
+		memstats   = fs.Bool("memstats", false, "print heap statistics after the sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sw := experiments.ScaleSweep{Duration: *duration}
+	sw := experiments.ScaleSweep{Duration: *duration, PerProfileSignalling: *signalling}
 	var err error
 	if sw.Populations, err = parseInts(*mns); err != nil {
 		return fmt.Errorf("-mns: %w", err)
@@ -71,7 +82,21 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	tbl, err := experiments.E9ScaleSweep(opt, sw)
+	var tbl *experiments.Table
+	if *dimension {
+		tbl, err = experiments.E10CapacityMatrix(opt, experiments.CapacityMatrix{
+			Populations: sw.Populations,
+			Schemes:     sw.Schemes,
+			Duration:    sw.Duration,
+			Spec:        sw.Spec,
+			Planner: capacity.PlannerConfig{
+				Density:  capacity.Density(*density),
+				Headroom: *headroom,
+			},
+		})
+	} else {
+		tbl, err = experiments.E9ScaleSweep(opt, sw)
+	}
 	if err != nil {
 		return err
 	}
@@ -95,8 +120,14 @@ func joinInts(vals []int) string {
 	return strings.Join(parts, ",")
 }
 
+// parseInts parses the population axis, enforcing the same rules
+// experiments.ScaleSweep.Validate applies — strictly ascending positive
+// counts — so a bad -mns fails here with a flag-shaped error instead of
+// surfacing later as a sweep error (or, before validation existed,
+// silently doubling runs and rendering misordered tables).
 func parseInts(s string) ([]int, error) {
 	var out []int
+	prev := 0
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -106,6 +137,13 @@ func parseInts(s string) ([]int, error) {
 		if err != nil || v <= 0 {
 			return nil, fmt.Errorf("bad population %q", part)
 		}
+		switch {
+		case v == prev:
+			return nil, fmt.Errorf("duplicate population %d", v)
+		case v < prev:
+			return nil, fmt.Errorf("populations must be ascending (%d after %d)", v, prev)
+		}
+		prev = v
 		out = append(out, v)
 	}
 	if len(out) == 0 {

@@ -16,10 +16,34 @@ func TestRunRejectsBadFlag(t *testing.T) {
 }
 
 func TestRunRejectsBadPopulations(t *testing.T) {
-	for _, mns := range []string{"", "0", "-5", "abc", "10,x"} {
+	for _, mns := range []string{"", "0", "-5", "abc", "10,x",
+		"10,10", "40,20", "10,20,20", "30,10,20"} {
 		if err := run([]string{"-mns", mns}); err == nil {
 			t.Fatalf("-mns %q accepted", mns)
 		}
+	}
+}
+
+func TestRunSmallDimensionedMatrix(t *testing.T) {
+	if err := run([]string{"-dimension", "-mns", "20,40", "-schemes", "multitier-rsmc",
+		"-duration", "3s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallSweepWithSignalling(t *testing.T) {
+	if err := run([]string{"-mns", "20", "-schemes", "multitier-rsmc",
+		"-duration", "3s", "-signalling"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadDimensioningKnobs(t *testing.T) {
+	if err := run([]string{"-dimension", "-mns", "20", "-density", "downtown"}); err == nil {
+		t.Fatal("unknown density accepted")
+	}
+	if err := run([]string{"-dimension", "-mns", "20", "-headroom", "0.5"}); err == nil {
+		t.Fatal("sub-1 headroom accepted")
 	}
 }
 

@@ -1,0 +1,298 @@
+// Package capacity dimensions the multi-tier arena for a target
+// population. The seed's fixed 13-cell topology saturates around ~1k
+// active MNs, so beyond that point a scale sweep measures capacity
+// exhaustion, not mobility-management cost. The planner here closes that
+// gap: given a target population and the fleet mix that will inhabit it,
+// it produces a topology.Config whose cell counts grow with the
+// population (grid layouts of many domain-macro subtrees) and per-tier
+// admission budgets derived from the fleet's aggregate DemandBPS plus a
+// headroom factor — so the paper's claim that the tier hierarchy absorbs
+// load can be tested with the hierarchy actually sized for the load.
+//
+// The planner is pure arithmetic: New is a deterministic function of
+// (target, spec, PlannerConfig), so dimensioned scenarios keep the
+// repo's byte-identical determinism contract. It knows nothing about the
+// scenario engine; core.Config carries an optional *Plan and applies it.
+package capacity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/addr"
+	"repro/internal/fleet"
+	"repro/internal/multitier"
+	"repro/internal/topology"
+)
+
+// Density presets choose how tightly the planner packs cells under each
+// root: how many domain macros per root and how many micro/pico cells
+// per domain. Denser presets reach a given micro-cell count with fewer
+// domains, which matters for the /8 address budget at very large
+// populations.
+type Density string
+
+// Presets.
+const (
+	// DensitySparse is a rural shape: few small cells per domain.
+	DensitySparse Density = "sparse"
+	// DensityUrban is the default city shape, matching the seed
+	// topology's 3-micros-per-domain look.
+	DensityUrban Density = "urban"
+	// DensityDense is a downtown shape: many micros and picos per
+	// domain.
+	DensityDense Density = "dense"
+)
+
+// shape returns (domains per root, micros per macro, picos per micro).
+func (d Density) shape() (int, int, int, bool) {
+	switch d {
+	case DensitySparse:
+		return 2, 2, 0, true
+	case DensityUrban:
+		return 4, 3, 1, true
+	case DensityDense:
+		return 6, 4, 2, true
+	}
+	return 0, 0, 0, false
+}
+
+// PlannerConfig tunes the dimensioning arithmetic. The zero value takes
+// the documented defaults.
+type PlannerConfig struct {
+	// Density selects the per-root cell packing; empty means urban.
+	Density Density
+	// MNsPerMicro is the design occupancy of one micro cell — how many
+	// slow-class MNs a micro is sized to admit concurrently. 0 means 24
+	// (three quarters of the default 32-channel micro pool).
+	MNsPerMicro int
+	// Headroom multiplies every demand-derived budget so the arena is
+	// provisioned above the mean offered load (mobility concentrates MNs
+	// unevenly). 0 means 1.25; values below 1 are rejected.
+	Headroom float64
+	// MacroSpeedMPS splits the fleet into macro-riding fast classes and
+	// micro-riding slow classes, mirroring the decision engine's speed
+	// factor. 0 means 12 (multitier.DefaultPolicy's threshold).
+	MacroSpeedMPS float64
+}
+
+// Defaults for PlannerConfig zero values.
+const (
+	DefaultMNsPerMicro   = 24
+	DefaultHeadroom      = 1.25
+	DefaultMacroSpeedMPS = 12
+)
+
+// MaxHeadroom bounds the provisioning multiplier. Unbounded headroom
+// (Inf, or absurd finite values) would push the channel arithmetic into
+// float->int overflow territory and silently produce garbage budgets.
+const MaxHeadroom = 1000
+
+// ErrBadPlan reports a degenerate planning request.
+var ErrBadPlan = errors.New("capacity: invalid plan")
+
+// maxSlash16 bounds domains+roots: the /8 base prefix carves one /16 per
+// domain and one per root.
+const maxSlash16 = 256
+
+// TierBudget is the admission shape the plan assigns one tier's
+// stations: the values that override multitier.DefaultStationConfig on a
+// dimensioned arena.
+type TierBudget struct {
+	Channels      int
+	GuardChannels int
+	CapacityBPS   float64
+}
+
+// Plan is a dimensioned arena: the sized topology plus the per-tier
+// admission budgets, with the demand decomposition that produced them
+// kept for tables and tests.
+type Plan struct {
+	// Target is the population the arena was sized for.
+	Target int
+	// Topology is the sized cell layout; core.Run swaps it in when the
+	// plan is attached to a config.
+	Topology topology.Config
+	// Budgets maps each tier to its admission shape. Tiers absent from
+	// the map keep multitier.DefaultStationConfig.
+	Budgets map[topology.Tier]TierBudget
+	// Headroom is the validated provisioning multiplier.
+	Headroom float64
+
+	// SlowMNs and FastMNs decompose the target by the speed threshold:
+	// slow classes camp on micro/pico cells, fast classes ride the
+	// macro/root class.
+	SlowMNs, FastMNs int
+	// MicroDemandBPS and MacroDemandBPS are the aggregate offered loads
+	// of the slow and fast sub-populations.
+	MicroDemandBPS, MacroDemandBPS float64
+	// Micros, Domains and Roots are the planned cell counts (micros is
+	// the total actually built: domains x micros-per-macro).
+	Micros, Domains, Roots int
+}
+
+// New dimensions an arena for target MNs running the given fleet mix.
+// It is a pure function: the same inputs always produce the same plan.
+func New(target int, spec fleet.Spec, cfg PlannerConfig) (*Plan, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("%w: target population %d", ErrBadPlan, target)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPlan, err)
+	}
+	if cfg.Density == "" {
+		cfg.Density = DensityUrban
+	}
+	domainsPerRoot, microsPerMacro, picosPerMicro, ok := cfg.Density.shape()
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown density %q", ErrBadPlan, cfg.Density)
+	}
+	if cfg.MNsPerMicro == 0 {
+		cfg.MNsPerMicro = DefaultMNsPerMicro
+	}
+	if cfg.MNsPerMicro < 1 {
+		return nil, fmt.Errorf("%w: MNs per micro %d", ErrBadPlan, cfg.MNsPerMicro)
+	}
+	if cfg.Headroom == 0 {
+		cfg.Headroom = DefaultHeadroom
+	}
+	if math.IsNaN(cfg.Headroom) || cfg.Headroom < 1 || cfg.Headroom > MaxHeadroom {
+		return nil, fmt.Errorf("%w: headroom %v (must be in [1, %v])", ErrBadPlan, cfg.Headroom, float64(MaxHeadroom))
+	}
+	if cfg.MacroSpeedMPS == 0 {
+		cfg.MacroSpeedMPS = DefaultMacroSpeedMPS
+	}
+
+	p := &Plan{Target: target, Headroom: cfg.Headroom}
+
+	// Decompose the population the way the decision engine will route it:
+	// classes at or above the speed threshold restrict themselves to the
+	// macro class, everyone else camps on the smallest usable tier.
+	counts := spec.Counts(target)
+	for i, prof := range spec.Profiles {
+		demand := prof.Traffic.DemandBPS() * float64(counts[i])
+		if prof.SpeedMPS >= cfg.MacroSpeedMPS {
+			p.FastMNs += counts[i]
+			p.MacroDemandBPS += demand
+		} else {
+			p.SlowMNs += counts[i]
+			p.MicroDemandBPS += demand
+		}
+	}
+
+	// Cell counts: enough micros for the slow population at the design
+	// occupancy, rolled up into uniform domains and a near-square root
+	// grid. The uniform roll-up over-provisions the tail (the last root
+	// has as many domains as the first), which is the right direction of
+	// error for a capacity floor.
+	microsNeeded := ceilDiv(p.SlowMNs, cfg.MNsPerMicro)
+	if microsNeeded < 1 {
+		microsNeeded = 1
+	}
+	domains := ceilDiv(microsNeeded, microsPerMacro)
+	if domains < domainsPerRoot {
+		domainsPerRoot = domains
+	}
+	roots := ceilDiv(domains, domainsPerRoot)
+	p.Domains = roots * domainsPerRoot
+	p.Micros = p.Domains * microsPerMacro
+	p.Roots = roots
+	if p.Domains+roots > maxSlash16 {
+		return nil, fmt.Errorf("%w: %d MNs need %d domains + %d roots but the /8 base prefix fits %d /16s — use a denser preset or raise MNsPerMicro",
+			ErrBadPlan, target, p.Domains, roots, maxSlash16)
+	}
+
+	p.Topology = topology.Config{
+		Roots:          roots,
+		RootCols:       gridCols(roots),
+		MacrosPerRoot:  domainsPerRoot,
+		MicrosPerMacro: microsPerMacro,
+		ChainMicros:    true,
+		PicosPerMicro:  picosPerMicro,
+		BasePrefix:     addr.MustParsePrefix("10.0.0.0/8"),
+	}
+	p.Budgets = p.budgets(cfg)
+	return p, nil
+}
+
+// budgets derives the per-tier admission shapes: each tier's stations
+// get at least the library defaults (read from
+// multitier.DefaultStationConfig so a retune there moves the floor
+// here), raised to carry that tier's share of the offered load with
+// headroom. Guard channels stay at one eighth of the pool, matching the
+// default 32/4 micro ratio.
+func (p *Plan) budgets(cfg PlannerConfig) map[topology.Tier]TierBudget {
+	out := make(map[topology.Tier]TierBudget, 3)
+
+	micro := tierFloor(topology.TierMicro)
+	raiseBudget(&micro, cfg.Headroom, p.SlowMNs, p.MicroDemandBPS, p.Micros)
+	out[topology.TierMicro] = micro
+
+	macro := tierFloor(topology.TierMacro)
+	raiseBudget(&macro, cfg.Headroom, p.FastMNs, p.MacroDemandBPS, p.Domains)
+	out[topology.TierMacro] = macro
+
+	// Roots umbrella the whole grid: they back up the macro tier for
+	// fast MNs near grid seams, so they carry the fast load decomposed
+	// over the (much smaller) root count.
+	root := tierFloor(topology.TierRoot)
+	raiseBudget(&root, cfg.Headroom, p.FastMNs, p.MacroDemandBPS, p.Roots)
+	out[topology.TierRoot] = root
+
+	return out
+}
+
+// tierFloor is the tier's default admission shape — the budget a station
+// would get on an undimensioned arena, and the floor raiseBudget never
+// goes below.
+func tierFloor(tier topology.Tier) TierBudget {
+	c := multitier.DefaultStationConfig(tier)
+	return TierBudget{Channels: c.Channels, GuardChannels: c.GuardChannels, CapacityBPS: c.CapacityBPS}
+}
+
+// raiseBudget lifts b to carry mns MNs offering demandBPS spread over
+// cells stations, with headroom, never lowering the defaults.
+func raiseBudget(b *TierBudget, headroom float64, mns int, demandBPS float64, cells int) {
+	if cells < 1 {
+		cells = 1
+	}
+	needCh := int(math.Ceil(headroom * float64(mns) / float64(cells)))
+	if needCh+needCh/8 > b.Channels {
+		b.Channels = needCh + needCh/8
+		b.GuardChannels = b.Channels / 8
+	}
+	needBPS := headroom * demandBPS / float64(cells)
+	if needBPS > b.CapacityBPS {
+		b.CapacityBPS = needBPS
+	}
+}
+
+// Budget returns the tier's admission shape and whether the plan
+// overrides that tier.
+func (p *Plan) Budget(tier topology.Tier) (TierBudget, bool) {
+	b, ok := p.Budgets[tier]
+	return b, ok
+}
+
+// String summarises the plan on one line for tables and traces.
+func (p *Plan) String() string {
+	return fmt.Sprintf("target=%d roots=%d(grid %d) domains=%d micros=%d headroom=%.2f slow=%d fast=%d",
+		p.Target, p.Roots, p.Topology.RootCols, p.Domains, p.Micros, p.Headroom, p.SlowMNs, p.FastMNs)
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// gridCols returns the near-square column count for n roots.
+func gridCols(n int) int {
+	if n <= 1 {
+		return 0 // legacy row; irrelevant for a single root
+	}
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}

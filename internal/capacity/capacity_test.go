@@ -1,0 +1,180 @@
+package capacity
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/topology"
+)
+
+func mustPlan(t *testing.T, target int, cfg PlannerConfig) *Plan {
+	t.Helper()
+	p, err := New(target, fleet.DefaultSpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewRejectsDegenerateInputs(t *testing.T) {
+	spec := fleet.DefaultSpec()
+	cases := map[string]func() (*Plan, error){
+		"zero target":     func() (*Plan, error) { return New(0, spec, PlannerConfig{}) },
+		"negative target": func() (*Plan, error) { return New(-5, spec, PlannerConfig{}) },
+		"empty spec":      func() (*Plan, error) { return New(100, fleet.Spec{}, PlannerConfig{}) },
+		"bad density":     func() (*Plan, error) { return New(100, spec, PlannerConfig{Density: "downtown"}) },
+		"sub-1 headroom":  func() (*Plan, error) { return New(100, spec, PlannerConfig{Headroom: 0.5}) },
+		"NaN headroom":    func() (*Plan, error) { return New(100, spec, PlannerConfig{Headroom: math.NaN()}) },
+		"Inf headroom":    func() (*Plan, error) { return New(100, spec, PlannerConfig{Headroom: math.Inf(1)}) },
+		"huge headroom":   func() (*Plan, error) { return New(100, spec, PlannerConfig{Headroom: MaxHeadroom + 1}) },
+		"bad occupancy":   func() (*Plan, error) { return New(100, spec, PlannerConfig{MNsPerMicro: -1}) },
+	}
+	for name, f := range cases {
+		if _, err := f(); !errors.Is(err, ErrBadPlan) {
+			t.Errorf("%s: err = %v, want ErrBadPlan", name, err)
+		}
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	a := mustPlan(t, 5000, PlannerConfig{})
+	b := mustPlan(t, 5000, PlannerConfig{})
+	if a.String() != b.String() {
+		t.Fatalf("same inputs produced different plans:\n%s\n%s", a, b)
+	}
+	if a.Topology != b.Topology {
+		t.Fatal("same inputs produced different topology configs")
+	}
+	for _, tier := range []topology.Tier{topology.TierMicro, topology.TierMacro, topology.TierRoot} {
+		ba, _ := a.Budget(tier)
+		bb, _ := b.Budget(tier)
+		if ba != bb {
+			t.Fatalf("tier %v budgets diverged: %+v vs %+v", tier, ba, bb)
+		}
+	}
+}
+
+func TestPlanScalesWithPopulation(t *testing.T) {
+	prev := 0
+	for _, target := range []int{100, 1000, 5000, 10000} {
+		p := mustPlan(t, target, PlannerConfig{})
+		cells := p.Topology.CellCount()
+		if cells <= prev && target > 1000 {
+			t.Errorf("target %d: %d cells, not above the %d of the previous target", target, cells, prev)
+		}
+		prev = cells
+
+		// The micro tier must carry the slow population at the design
+		// occupancy: actual micros >= slow / default occupancy.
+		needed := (p.SlowMNs + DefaultMNsPerMicro - 1) / DefaultMNsPerMicro
+		if p.Micros < needed {
+			t.Errorf("target %d: %d micros for %d slow MNs (need >= %d)", target, p.Micros, p.SlowMNs, needed)
+		}
+		// The built topology must match the plan arithmetic.
+		top, err := topology.Build(p.Topology)
+		if err != nil {
+			t.Fatalf("target %d: plan topology does not build: %v", target, err)
+		}
+		if got := len(top.Cells); got != cells {
+			t.Errorf("target %d: CellCount says %d, Build made %d", target, cells, got)
+		}
+		if got := len(top.CellsOfTier(topology.TierMicro)); got != p.Micros {
+			t.Errorf("target %d: plan says %d micros, Build made %d", target, p.Micros, got)
+		}
+		if got := len(top.Domains); got != p.Domains {
+			t.Errorf("target %d: plan says %d domains, Build made %d", target, p.Domains, got)
+		}
+	}
+}
+
+func TestPlanSplitsFleetBySpeed(t *testing.T) {
+	p := mustPlan(t, 1000, PlannerConfig{})
+	// Default mix: 60% pedestrians (1.5 m/s) + 15% stationary are slow,
+	// 25% vehicular (20 m/s) are fast.
+	if p.SlowMNs != 750 || p.FastMNs != 250 {
+		t.Fatalf("slow/fast = %d/%d, want 750/250", p.SlowMNs, p.FastMNs)
+	}
+	if p.SlowMNs+p.FastMNs != p.Target {
+		t.Fatal("speed split does not partition the population")
+	}
+	// Fast demand is video-dominated, so the macro tier's bandwidth must
+	// be raised above the 5 Mb/s default once per-macro demand exceeds it.
+	big := mustPlan(t, 10000, PlannerConfig{})
+	macro, ok := big.Budget(topology.TierMacro)
+	if !ok {
+		t.Fatal("no macro budget")
+	}
+	perMacroDemand := big.Headroom * big.MacroDemandBPS / float64(big.Domains)
+	if macro.CapacityBPS < perMacroDemand {
+		t.Fatalf("macro capacity %.0f below demand share %.0f", macro.CapacityBPS, perMacroDemand)
+	}
+}
+
+func TestBudgetsNeverBelowDefaults(t *testing.T) {
+	// A tiny population must keep the library defaults, not shrink them.
+	p := mustPlan(t, 10, PlannerConfig{})
+	micro, _ := p.Budget(topology.TierMicro)
+	if micro.Channels < 32 || micro.CapacityBPS < 10e6 {
+		t.Fatalf("tiny plan lowered micro defaults: %+v", micro)
+	}
+	macro, _ := p.Budget(topology.TierMacro)
+	if macro.Channels < 64 || macro.CapacityBPS < 5e6 {
+		t.Fatalf("tiny plan lowered macro defaults: %+v", macro)
+	}
+	root, _ := p.Budget(topology.TierRoot)
+	if root.Channels < 96 || root.CapacityBPS < 4e6 {
+		t.Fatalf("tiny plan lowered root defaults: %+v", root)
+	}
+	if _, ok := p.Budget(topology.TierPico); ok {
+		t.Fatal("pico tier should keep station defaults (no budget override)")
+	}
+}
+
+func TestRootGridStaysNearSquare(t *testing.T) {
+	p := mustPlan(t, 10000, PlannerConfig{})
+	if p.Roots < 2 {
+		t.Skipf("10k plan only needed %d root(s)", p.Roots)
+	}
+	cols := p.Topology.RootCols
+	if cols < 1 {
+		t.Fatalf("multi-root plan kept the row layout (cols=%d)", cols)
+	}
+	rows := (p.Roots + cols - 1) / cols
+	if cols > 2*rows || rows > 2*cols {
+		t.Fatalf("grid %dx%d for %d roots is not near-square", cols, rows, p.Roots)
+	}
+}
+
+func TestDensityPresetsTradeDomainsForCells(t *testing.T) {
+	sparse := mustPlan(t, 5000, PlannerConfig{Density: DensitySparse})
+	dense := mustPlan(t, 5000, PlannerConfig{Density: DensityDense})
+	if dense.Domains >= sparse.Domains {
+		t.Fatalf("dense preset should need fewer domains: dense=%d sparse=%d",
+			dense.Domains, sparse.Domains)
+	}
+}
+
+func TestAddressSpaceExhaustionIsAnError(t *testing.T) {
+	// A sparse preset with one MN per micro overflows the /8's 256 /16s
+	// well before 100k MNs.
+	_, err := New(100000, fleet.DefaultSpec(), PlannerConfig{Density: DensitySparse, MNsPerMicro: 1})
+	if !errors.Is(err, ErrBadPlan) {
+		t.Fatalf("err = %v, want ErrBadPlan (address space)", err)
+	}
+}
+
+func TestHeadroomRaisesBudgets(t *testing.T) {
+	lean := mustPlan(t, 5000, PlannerConfig{Headroom: 1})
+	fat := mustPlan(t, 5000, PlannerConfig{Headroom: 2})
+	if lean.Topology != fat.Topology {
+		t.Fatal("headroom should shape budgets, not cell counts")
+	}
+	lm, _ := lean.Budget(topology.TierMacro)
+	fm, _ := fat.Budget(topology.TierMacro)
+	if fm.CapacityBPS <= lm.CapacityBPS {
+		t.Fatalf("headroom 2 macro capacity %.0f not above headroom 1's %.0f",
+			fm.CapacityBPS, lm.CapacityBPS)
+	}
+}

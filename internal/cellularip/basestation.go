@@ -284,6 +284,11 @@ func (bs *BaseStation) insideDst(dst addr.IP) bool {
 func (bs *BaseStation) deliverDown(pkt *packet.Packet) {
 	maps := bs.routing.Lookup(pkt.Dst)
 	if len(maps) == 0 {
+		if bs.stats != nil && bs.stats.PageSink != nil {
+			// No routing entry: whatever happens next (paging cache or
+			// flood) is paging effort spent on this host.
+			bs.stats.PageSink(pkt.Dst)
+		}
 		maps = bs.paging.Lookup(pkt.Dst)
 		if bs.stats != nil && len(maps) > 0 {
 			bs.stats.Pages.Inc()

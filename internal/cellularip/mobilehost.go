@@ -75,6 +75,9 @@ type MobileHost struct {
 
 	// OnData receives every unique data packet delivered to the host.
 	OnData func(p *packet.Packet)
+	// OnLocationSignal is told about every route/paging update this host
+	// originates — the per-profile signalling attribution hook.
+	OnLocationSignal func()
 }
 
 var _ netsim.Handler = (*MobileHost)(nil)
@@ -266,6 +269,9 @@ func (h *MobileHost) sendControl(msg Message, via *BaseStation) {
 	pkt := packet.NewControl(h.ip, via.Node().Addr(), packet.ProtoCellular, payload)
 	if h.stats != nil {
 		h.stats.ControlBytes.Add(uint64(pkt.Size()))
+	}
+	if h.OnLocationSignal != nil {
+		h.OnLocationSignal()
 	}
 	_ = h.node.Network().DeliverDirect(h.node, via.Node(), pkt, h.cfg.AirDelay, h.cfg.AirLoss)
 }

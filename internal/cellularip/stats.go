@@ -1,6 +1,9 @@
 package cellularip
 
-import "repro/internal/metrics"
+import (
+	"repro/internal/addr"
+	"repro/internal/metrics"
+)
 
 // Stats aggregates the Cellular IP measurements E2 and E8 report.
 type Stats struct {
@@ -25,6 +28,11 @@ type Stats struct {
 	// Pages counts packets that had to use the paging path (cache or
 	// flood) because no routing entry existed.
 	Pages *metrics.Counter
+
+	// PageSink, when set, attributes every paging-path delivery to the
+	// paged host (the scenario engine maps the address to its fleet
+	// profile class). Purely observational.
+	PageSink func(host addr.IP)
 }
 
 // NewStats wires stats into a registry under the "cip." prefix. A nil

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/fleet"
+)
+
+// dimensionedConfig is a small fleet scenario on a planner-sized arena.
+func dimensionedConfig(t *testing.T, mns int) Config {
+	t.Helper()
+	spec := fleet.DefaultSpec()
+	plan, err := capacity.New(mns, spec, capacity.PlannerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeMultiTier
+	cfg.Duration = 3 * time.Second
+	cfg.NumMNs = mns
+	cfg.Fleet = &spec
+	cfg.Capacity = plan
+	cfg.PacketArena = true
+	return cfg
+}
+
+func TestCapacityPlanThreadsThroughRun(t *testing.T) {
+	cfg := dimensionedConfig(t, 60)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The returned config carries the plan's topology, not the fixed one.
+	if got, want := res.Config.Topology, cfg.Capacity.Topology; got != want {
+		t.Fatalf("run topology %+v, want the plan's %+v", got, want)
+	}
+	// Every MN was admitted somewhere and the occupancy telemetry moved.
+	if got := res.Registry.Counter("tier.admission.admitted").Value(); got == 0 {
+		t.Fatal("no admissions on a dimensioned arena")
+	}
+	if got := res.Registry.Counter("tier.admission.shed_capacity").Value(); got != 0 {
+		t.Fatalf("dimensioned arena shed %d for capacity at design load", got)
+	}
+	occ := res.Registry.Sample("tier.occupancy.micro")
+	if occ.Count() == 0 {
+		t.Fatal("micro occupancy sample never observed")
+	}
+	if res.Summary.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestCapacityRunDeterministic(t *testing.T) {
+	a, err := Run(dimensionedConfig(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(dimensionedConfig(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra, rb := a.Registry.Render(), b.Registry.Render(); ra != rb {
+		t.Fatalf("dimensioned registries diverged:\n%s\n---\n%s", ra, rb)
+	}
+}
+
+func TestCapacityFlatSchemeGetsDimensionedArena(t *testing.T) {
+	cfg := dimensionedConfig(t, 200)
+	cfg.Scheme = SchemeCellularIPHard
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Config.Topology, cfg.Capacity.Topology; got != want {
+		t.Fatal("flat scheme did not inherit the dimensioned topology")
+	}
+	if res.Summary.Delivered == 0 {
+		t.Fatal("nothing delivered on the dimensioned arena")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/capacity"
 	"repro/internal/fleet"
 	"repro/internal/topology"
 )
@@ -75,22 +76,15 @@ type TrafficConfig struct {
 	DataMeanInterval time.Duration
 }
 
-// DemandBPS returns the admission-control bandwidth of the flow set.
+// DemandBPS returns the admission-control bandwidth of the flow set. The
+// rate model lives on fleet.Traffic so the capacity planner dimensions
+// arenas in the same bits the admission controller charges.
 func (tc TrafficConfig) DemandBPS() float64 {
-	var bps float64
-	if tc.Voice {
-		bps += 64_000
-	}
-	if tc.Video {
-		bps += 300_000
-	}
-	if tc.DataMeanInterval > 0 {
-		bps += 32_000
-	}
-	if bps == 0 {
-		bps = 16_000 // signalling-only sessions still need a channel
-	}
-	return bps
+	return fleet.Traffic{
+		Voice:            tc.Voice,
+		Video:            tc.Video,
+		DataMeanInterval: tc.DataMeanInterval,
+	}.DemandBPS()
 }
 
 // Config describes one scenario run.
@@ -143,6 +137,13 @@ type Config struct {
 	// process-global pool — the per-scenario allocator population-scale
 	// runs use so workers never share packet storage.
 	PacketArena bool
+	// Capacity optionally runs the scenario on a dimensioned arena: the
+	// plan's sized topology replaces Topology, and on the multi-tier
+	// scheme the plan's per-tier budgets override the station admission
+	// defaults (the flat schemes have no admission model and simply get
+	// the larger cell layout). nil keeps the fixed topology — the
+	// default path is byte-identical with or without this field present.
+	Capacity *capacity.Plan
 }
 
 // DefaultConfig is a moderate scenario: one-root topology so every scheme

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/addr"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
@@ -122,6 +123,32 @@ func (s *scenario) noteHandoff(i int) {
 	s.handoffs.Inc()
 	if bd := s.breakdown(i); bd != nil {
 		bd.Handoffs.Inc()
+	}
+}
+
+// signalSink returns MN i's location-update attribution hook: each
+// location-management message the MN originates counts into its class
+// aggregate. nil without a fleet (nothing to attribute to).
+func (s *scenario) signalSink(i int) func() {
+	bd := s.breakdown(i)
+	if bd == nil {
+		return nil
+	}
+	return bd.LocationUpdates.Inc
+}
+
+// pageSink returns the network-side paging attribution hook: stations
+// report the address they paged for and the sink charges the owning
+// MN's class aggregate. byAddr maps each MN's scheme-level address to
+// its class; nil without a fleet.
+func (s *scenario) pageSink(byAddr map[addr.IP]*metrics.Breakdown) func(addr.IP) {
+	if s.fleet == nil {
+		return nil
+	}
+	return func(ip addr.IP) {
+		if bd := byAddr[ip]; bd != nil {
+			bd.Pages.Inc()
+		}
 	}
 }
 

@@ -102,6 +102,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Fleet == nil && cfg.Mobility != "" && !validMobilityKind(cfg.Mobility) {
 		return nil, fmt.Errorf("%w: unknown mobility %q", ErrBadConfig, cfg.Mobility)
 	}
+	if cfg.Capacity != nil {
+		// A dimensioned run: the plan's sized grid replaces whatever
+		// fixed layout the config carried.
+		cfg.Topology = cfg.Capacity.Topology
+	}
 	if cfg.Topology.Roots == 0 {
 		cfg.Topology = topology.DefaultConfig()
 	}
@@ -367,6 +372,7 @@ func (s *scenario) runMobileIP() error {
 		cfg := mobileip.DefaultMNConfig()
 		mn := mobileip.NewMobileNode(mnNode, home, addr.MustParse(haIP), cfg, stats)
 		mn.OnData = s.onDelivered(i)
+		mn.OnLocationSignal = s.signalSink(i)
 		s.startTraffic(i, home, s.rng.Fork())
 
 		current := topology.NoCell
@@ -428,6 +434,7 @@ func (s *scenario) runCellularIP(semisoft bool) error {
 
 	sel := radio.DefaultSelector()
 	measure := s.measureRng()
+	byAddr := make(map[addr.IP]*metrics.Breakdown, s.cfg.NumMNs)
 	for i := 0; i < s.cfg.NumMNs; i++ {
 		ip, err := served.Nth(uint32(1000 + i))
 		if err != nil {
@@ -436,6 +443,10 @@ func (s *scenario) runCellularIP(semisoft bool) error {
 		node := s.net.NewNode(fmt.Sprintf("mn-%d", i))
 		host := cellularip.NewMobileHost(node, ip, cipCfg, stats)
 		host.OnData = s.onDelivered(i)
+		host.OnLocationSignal = s.signalSink(i)
+		if bd := s.breakdown(i); bd != nil {
+			byAddr[ip] = bd
+		}
 		s.startTraffic(i, ip, s.rng.Fork())
 
 		current := topology.NoCell
@@ -455,6 +466,7 @@ func (s *scenario) runCellularIP(semisoft bool) error {
 			}
 		})
 	}
+	stats.PageSink = s.pageSink(byAddr)
 	return nil
 }
 
@@ -467,6 +479,14 @@ func (s *scenario) runMultiTier() error {
 
 	stationCfg := func(tier topology.Tier) multitier.StationConfig {
 		c := multitier.DefaultStationConfig(tier)
+		if s.cfg.Capacity != nil {
+			// Dimensioned arena: the plan's demand-derived budgets
+			// replace the per-tier defaults. Explicit GuardChannels
+			// overrides below still win, like on a fixed topology.
+			if b, ok := s.cfg.Capacity.Budget(tier); ok {
+				c.Channels, c.GuardChannels, c.CapacityBPS = b.Channels, b.GuardChannels, b.CapacityBPS
+			}
+		}
 		c.ResourceSwitching = s.cfg.ResourceSwitching
 		if s.cfg.GuardChannels >= 0 {
 			c.GuardChannels = s.cfg.GuardChannels
@@ -518,6 +538,7 @@ func (s *scenario) runMultiTier() error {
 	}
 
 	pol := multitier.DefaultPolicy()
+	byAddr := make(map[addr.IP]*metrics.Breakdown, s.cfg.NumMNs)
 	for i := 0; i < s.cfg.NumMNs; i++ {
 		home := mnHome(i)
 		prof := &multitier.Profile{
@@ -531,9 +552,14 @@ func (s *scenario) runMultiTier() error {
 			s.measureRng(), stats)
 		mob.OnData = s.onDelivered(i)
 		mob.OnHandoff = func(multitier.HandoffKind, time.Duration) { s.noteHandoff(i) }
+		mob.OnLocationSignal = s.signalSink(i)
+		if bd := s.breakdown(i); bd != nil {
+			byAddr[home] = bd
+		}
 		s.startTraffic(i, home, s.rng.Fork())
 		s.driver(i, mob.Evaluate)
 	}
+	stats.PageSink = s.pageSink(byAddr)
 	return nil
 }
 

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/runner"
+	"repro/internal/topology"
+)
+
+// CapacityMatrix parameterises E10: the capacity×population matrix that
+// separates mobility-management cost from raw capacity exhaustion. Every
+// population runs twice — once on the fixed seed topology and once on a
+// demand-dimensioned arena — under every scheme, so the fixed column
+// shows where the 13-cell layout saturates and the dimensioned column
+// shows what the schemes cost when the hierarchy is actually sized for
+// the load.
+type CapacityMatrix struct {
+	// Populations is the ascending MN-count axis (same validation rules
+	// as ScaleSweep).
+	Populations []int
+	// Schemes are compared at each (population, topology) cell.
+	Schemes []core.Scheme
+	// Duration is the virtual span of each scenario.
+	Duration time.Duration
+	// Spec is the population mix; the dimensioning planner sizes arenas
+	// from this same mix, so supply and demand use one demand model.
+	Spec fleet.Spec
+	// Planner tunes the dimensioned column (zero value = documented
+	// planner defaults).
+	Planner capacity.PlannerConfig
+}
+
+// Validate applies the ScaleSweep axis rules to the matrix.
+func (m CapacityMatrix) Validate() error {
+	return ScaleSweep{
+		Populations: m.Populations,
+		Schemes:     m.Schemes,
+		Duration:    m.Duration,
+		Spec:        m.Spec,
+	}.Validate()
+}
+
+// DefaultCapacityMatrix is the full matrix cmd/mmscale -dimension runs:
+// 500 → 10k MNs, fixed vs dimensioned, every scheme, default urban mix.
+func DefaultCapacityMatrix() CapacityMatrix {
+	return CapacityMatrix{
+		Populations: []int{500, 1000, 2000, 5000, 10000},
+		Schemes:     core.Schemes(),
+		Duration:    10 * time.Second,
+		Spec:        fleet.DefaultSpec(),
+	}
+}
+
+// SuiteCapacityMatrix is the reduced matrix mmbench's E10 entry and the
+// benchmark harness run: the low end of the population axis, multi-tier
+// only (the scheme with an admission model — the one the matrix is
+// about), both topology columns.
+func SuiteCapacityMatrix() CapacityMatrix {
+	m := DefaultCapacityMatrix()
+	m.Populations = []int{500, 1000}
+	m.Schemes = []core.Scheme{core.SchemeMultiTier}
+	return m
+}
+
+// E10CapacityMatrix measures admission outcomes, utilization and QoE
+// across the capacity×population matrix. The honest-scaling claim it
+// pins: on the fixed topology the multi-tier scheme's capacity-shed rate
+// explodes with the population (the arena is exhausted), while on the
+// dimensioned arena the shed rate stays low and what remains is the
+// scheme's own mobility-management cost.
+//
+// Like E9 it is not part of All: its cost axis is population and
+// topology size, so it is invoked deliberately (cmd/mmscale -dimension,
+// mmbench E10, BenchmarkE10CapacityMatrix, or the pinned golden test).
+func E10CapacityMatrix(opt Options, m CapacityMatrix) (*Table, error) {
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := e10Plan(opt, m)
+	if err != nil {
+		return nil, err
+	}
+	return opt.run(p)
+}
+
+// e10Plan dimensions every population up front so a degenerate planner
+// config (or a population past the address budget) fails before a single
+// scenario runs, not after the whole matrix has been executed.
+func e10Plan(opt Options, m CapacityMatrix) (plan, error) {
+	type meta struct {
+		mns    int
+		mode   string
+		cells  int
+		scheme core.Scheme
+		plan   *capacity.Plan
+	}
+	var jobs []runner.Job
+	var metas []meta
+	for _, n := range m.Populations {
+		dim, err := capacity.New(n, m.Spec, m.Planner)
+		if err != nil {
+			return plan{}, fmt.Errorf("dimensioning %d MNs: %w", n, err)
+		}
+		for _, mode := range []string{"fixed", "dimensioned"} {
+			for _, scheme := range m.Schemes {
+				cfg := core.DefaultConfig()
+				cfg.Scheme = scheme
+				cfg.Topology = oneRoot()
+				cfg.Duration = opt.scale(m.Duration)
+				cfg.NumMNs = n
+				spec := m.Spec
+				cfg.Fleet = &spec
+				cfg.PacketArena = true
+				cells := oneRoot().CellCount()
+				if mode == "dimensioned" {
+					cfg.Capacity = dim
+					cells = dim.Topology.CellCount()
+				}
+				jobs = append(jobs, runner.Job{
+					Label:  fmt.Sprintf("%s@%d-MNs-%s", scheme, n, mode),
+					Config: cfg,
+				})
+				metas = append(metas, meta{n, mode, cells, scheme, dim})
+			}
+		}
+	}
+	p := plan{
+		num:  10,
+		jobs: jobs,
+		render: func(res []runner.JobResult) (*Table, error) {
+			t := &Table{
+				ID:    "E10",
+				Title: fmt.Sprintf("Capacity x population matrix: fixed vs dimensioned topology (mix %s)", m.Spec.String()),
+				Header: []string{"MNs", "topology", "cells", "scheme",
+					"admitted", "shed-capacity", "shed-policy", "shed rate",
+					"loss", "mean delay", "handoffs/MN", "micro occ mean/max", "loc upd/MN", "pages"},
+			}
+			for i, r := range res {
+				mt := metas[i]
+				sig := fleetSignallingCells(r, m.Spec)
+				t.AddRow(fmtI(mt.mns), mt.mode, fmtI(mt.cells), string(mt.scheme),
+					fmtStatI(r.Counter("tier.admission.admitted")),
+					fmtStatI(r.Counter("tier.admission.shed_capacity")),
+					fmtStatI(r.Counter("tier.admission.shed_policy")),
+					fmtStatPct(r.Stat(shedRate)),
+					fmtStatPct(r.LossRate()),
+					fmtStatDur(r.MeanLatency()),
+					fmtStatF(r.Stat(func(res *core.Result) float64 {
+						return float64(res.Summary.Handoffs) / float64(res.Config.NumMNs)
+					})),
+					microOccupancy(r),
+					sig[0], sig[1])
+			}
+			for _, n := range m.Populations {
+				for i := range metas {
+					if metas[i].mns == n {
+						t.AddNote("plan @%d: %s", n, metas[i].plan)
+						break
+					}
+				}
+			}
+			t.AddNote("shed rate = shed-capacity / admission decisions; only multitier-rsmc runs admission control, so flat-scheme rows read 0 (they deliver into congestion instead of shedding)")
+			t.AddNote("a fixed-topology shed rate that grows with MNs while the dimensioned rate stays flat means earlier sweeps measured capacity exhaustion, not scheme cost")
+			return t, nil
+		},
+	}
+	return p, nil
+}
+
+// shedRate is the capacity-shed fraction of all reason-coded admission
+// decisions in one run.
+func shedRate(res *core.Result) float64 {
+	adm := res.Registry.Counter("tier.admission.admitted").Value()
+	shed := res.Registry.Counter("tier.admission.shed_capacity").Value()
+	pol := res.Registry.Counter("tier.admission.shed_policy").Value()
+	total := adm + shed + pol
+	if total == 0 {
+		return 0
+	}
+	return float64(shed) / float64(total)
+}
+
+// microOccupancy renders the micro tier's streaming occupancy sample as
+// "mean/max" percentages (first-replication values; occupancy is a
+// distribution, not a mean±std scalar).
+func microOccupancy(r runner.JobResult) string {
+	first := r.First()
+	if first == nil {
+		return ""
+	}
+	s := first.Registry.Sample("tier.occupancy." + topology.TierMicro.String())
+	if s.Count() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%/%.0f%%", 100*s.Mean(), 100*s.Max())
+}

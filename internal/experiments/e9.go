@@ -24,6 +24,40 @@ type ScaleSweep struct {
 	// Spec is the population mix; every (population, scheme) cell runs
 	// the same spec so differences isolate scheme and scale.
 	Spec fleet.Spec
+	// PerProfileSignalling adds location-update and paging attribution
+	// columns to the per-profile QoE rows. Off by default so existing
+	// pinned tables keep their exact bytes; cmd/mmscale -signalling and
+	// the E10 matrix turn it on.
+	PerProfileSignalling bool
+}
+
+// Validate rejects degenerate sweeps. The population axis must be
+// strictly ascending and positive: duplicates used to silently double
+// the run time, and an unsorted axis rendered tables whose rows
+// contradicted their own "vs population" framing.
+func (sw ScaleSweep) Validate() error {
+	if len(sw.Populations) == 0 {
+		return fmt.Errorf("%w: scale sweep has no populations", ErrBadOptions)
+	}
+	if len(sw.Schemes) == 0 {
+		return fmt.Errorf("%w: scale sweep has no schemes", ErrBadOptions)
+	}
+	prev := 0
+	for _, n := range sw.Populations {
+		switch {
+		case n <= 0:
+			return fmt.Errorf("%w: population %d (must be > 0)", ErrBadOptions, n)
+		case n == prev:
+			return fmt.Errorf("%w: duplicate population %d", ErrBadOptions, n)
+		case n < prev:
+			return fmt.Errorf("%w: populations must be ascending (%d after %d)", ErrBadOptions, n, prev)
+		}
+		prev = n
+	}
+	if sw.Duration <= 0 {
+		return fmt.Errorf("%w: scale sweep duration %v", ErrBadOptions, sw.Duration)
+	}
+	return sw.Spec.Validate()
 }
 
 // DefaultScaleSweep is the full sweep cmd/mmscale runs: 500 → 10k MNs
@@ -65,10 +99,7 @@ func E9ScaleSweep(opt Options, sw ScaleSweep) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(sw.Populations) == 0 || len(sw.Schemes) == 0 {
-		return nil, fmt.Errorf("%w: empty scale sweep", ErrBadOptions)
-	}
-	if err := sw.Spec.Validate(); err != nil {
+	if err := sw.Validate(); err != nil {
 		return nil, err
 	}
 	return opt.run(e9Plan(opt, sw))
@@ -95,6 +126,10 @@ func e9Plan(opt Options, sw ScaleSweep) plan {
 			metas = append(metas, meta{n, scheme})
 		}
 	}
+	header := []string{"MNs", "scheme", "profile", "mns", "speed", "loss", "mean delay", "p95 delay", "handoffs/MN"}
+	if sw.PerProfileSignalling {
+		header = append(header, "loc upd/MN", "pages")
+	}
 	return plan{
 		num:  9,
 		jobs: jobs,
@@ -102,56 +137,111 @@ func e9Plan(opt Options, sw ScaleSweep) plan {
 			t := &Table{
 				ID:     "E9",
 				Title:  fmt.Sprintf("Scale sweep: per-profile QoE vs population (mix %s)", sw.Spec.String()),
-				Header: []string{"MNs", "scheme", "profile", "mns", "speed", "loss", "mean delay", "p95 delay", "handoffs/MN"},
+				Header: header,
 			}
 			for i, r := range res {
 				m := metas[i]
-				t.AddRow(fmtI(m.mns), string(m.scheme), "all", fmtI(m.mns), "",
+				all := []string{fmtI(m.mns), string(m.scheme), "all", fmtI(m.mns), "",
 					fmtStatPct(r.LossRate()),
 					fmtStatDur(r.MeanLatency()),
 					fmtStatDur(r.P95Latency()),
 					fmtStatF(r.Stat(func(res *core.Result) float64 {
 						return float64(res.Summary.Handoffs) / float64(res.Config.NumMNs)
-					})))
+					}))}
+				if sw.PerProfileSignalling {
+					all = append(all, fleetSignallingCells(r, sw.Spec)...)
+				}
+				t.AddRow(all...)
 				for _, p := range sw.Spec.Profiles {
-					name := p.Name
-					bd := func(res *core.Result) *metrics.Breakdown {
-						return res.Registry.Breakdown("fleet.profile." + name)
-					}
-					pop := r.Stat(func(res *core.Result) float64 { return float64(bd(res).Population) })
-					t.AddRow("", "", name, fmtI(int(pop.Mean)),
-						fmtStatF(r.Stat(func(res *core.Result) float64 {
-							return bd(res).Speed.Mean()
-						})),
-						fmtStatPct(r.Stat(func(res *core.Result) float64 {
-							b := bd(res)
-							if b.Flows.Sent == 0 {
-								return 0
-							}
-							rate := 1 - float64(b.Flows.Delivered)/float64(b.Flows.Sent)
-							if rate < 0 {
-								rate = 0
-							}
-							return rate
-						})),
-						fmtStatDur(r.Stat(func(res *core.Result) float64 {
-							return bd(res).Latency.Mean().Seconds()
-						})),
-						fmtStatDur(r.Stat(func(res *core.Result) float64 {
-							return bd(res).Latency.Quantile(0.95).Seconds()
-						})),
-						fmtStatF(r.Stat(func(res *core.Result) float64 {
-							b := bd(res)
-							if b.Population == 0 {
-								return 0
-							}
-							return float64(b.Handoffs.Value()) / float64(b.Population)
-						})))
+					row := append([]string{"", "", p.Name}, profileQoECells(r, p.Name, sw.PerProfileSignalling)...)
+					t.AddRow(row...)
 				}
 			}
 			t.AddNote("loss is the undelivered fraction per class; only multitier-rsmc enforces QoS admission, so past cell capacity it sheds load at admission while the flat schemes (no admission model) keep delivering")
 			t.AddNote("bounded memory: per-scenario packet arena + streaming per-profile aggregates, no per-packet retention")
+			if sw.PerProfileSignalling {
+				t.AddNote("loc upd/MN counts MN-originated location signalling (location/update messages, route/paging updates, registrations); pages counts network paging effort spent finding the class")
+			}
 			return t, nil
 		},
+	}
+}
+
+// profileQoECells renders one profile's per-class cells for a
+// scale-sweep table, from the population column onward: mns, speed,
+// loss, mean/p95 delay, handoffs per MN, and — with signalling
+// attribution on — location updates per MN and pages.
+func profileQoECells(r runner.JobResult, name string, signalling bool) []string {
+	bd := func(res *core.Result) *metrics.Breakdown {
+		return res.Registry.Breakdown("fleet.profile." + name)
+	}
+	pop := r.Stat(func(res *core.Result) float64 { return float64(bd(res).Population) })
+	cells := []string{
+		fmtI(int(pop.Mean)),
+		fmtStatF(r.Stat(func(res *core.Result) float64 {
+			return bd(res).Speed.Mean()
+		})),
+		fmtStatPct(r.Stat(func(res *core.Result) float64 {
+			b := bd(res)
+			if b.Flows.Sent == 0 {
+				return 0
+			}
+			rate := 1 - float64(b.Flows.Delivered)/float64(b.Flows.Sent)
+			if rate < 0 {
+				rate = 0
+			}
+			return rate
+		})),
+		fmtStatDur(r.Stat(func(res *core.Result) float64 {
+			return bd(res).Latency.Mean().Seconds()
+		})),
+		fmtStatDur(r.Stat(func(res *core.Result) float64 {
+			return bd(res).Latency.Quantile(0.95).Seconds()
+		})),
+		fmtStatF(r.Stat(func(res *core.Result) float64 {
+			b := bd(res)
+			if b.Population == 0 {
+				return 0
+			}
+			return float64(b.Handoffs.Value()) / float64(b.Population)
+		})),
+	}
+	if signalling {
+		cells = append(cells,
+			fmtStatF(r.Stat(func(res *core.Result) float64 {
+				b := bd(res)
+				if b.Population == 0 {
+					return 0
+				}
+				return float64(b.LocationUpdates.Value()) / float64(b.Population)
+			})),
+			fmtStatI(r.Stat(func(res *core.Result) float64 {
+				return float64(bd(res).Pages.Value())
+			})))
+	}
+	return cells
+}
+
+// fleetSignallingCells aggregates the signalling attribution across
+// every profile for a cell's "all" row.
+func fleetSignallingCells(r runner.JobResult, spec fleet.Spec) []string {
+	sum := func(f func(*metrics.Breakdown) float64) func(*core.Result) float64 {
+		return func(res *core.Result) float64 {
+			var total float64
+			for _, p := range spec.Profiles {
+				total += f(res.Registry.Breakdown("fleet.profile." + p.Name))
+			}
+			return total
+		}
+	}
+	return []string{
+		fmtStatF(r.Stat(func(res *core.Result) float64 {
+			return sum(func(b *metrics.Breakdown) float64 {
+				return float64(b.LocationUpdates.Value())
+			})(res) / float64(res.Config.NumMNs)
+		})),
+		fmtStatI(r.Stat(sum(func(b *metrics.Breakdown) float64 {
+			return float64(b.Pages.Value())
+		}))),
 	}
 }

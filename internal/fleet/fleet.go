@@ -39,6 +39,29 @@ type Traffic struct {
 	DataMeanInterval time.Duration
 }
 
+// DemandBPS returns the admission-control bandwidth of the mix: the sum
+// of the enabled flows' nominal rates, floored at a signalling-only
+// channel. This is the single source of the per-MN demand model — the
+// scenario engine's admission control and the capacity planner's
+// dimensioning arithmetic both read it, so a dimensioned arena is sized
+// in exactly the bits the admission controller will later charge.
+func (t Traffic) DemandBPS() float64 {
+	var bps float64
+	if t.Voice {
+		bps += 64_000
+	}
+	if t.Video {
+		bps += 300_000
+	}
+	if t.DataMeanInterval > 0 {
+		bps += 32_000
+	}
+	if bps == 0 {
+		bps = 16_000 // signalling-only sessions still need a channel
+	}
+	return bps
+}
+
 // Profile describes one population class.
 type Profile struct {
 	// Name labels the class in specs, metrics and tables. Must be unique

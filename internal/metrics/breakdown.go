@@ -91,6 +91,14 @@ type Breakdown struct {
 	Handoffs Counter
 	// Speed aggregates the per-MN assigned speeds (m/s).
 	Speed StreamStat
+	// LocationUpdates counts location-management signalling the class's
+	// MNs originated: multi-tier Location/Update Location Messages,
+	// Cellular IP route/paging updates, Mobile IP registrations.
+	LocationUpdates Counter
+	// Pages counts paging events the network spent finding the class's
+	// MNs (floods for multi-tier, paging-path deliveries for Cellular
+	// IP). High pages with low location updates is the idle-mode trade.
+	Pages Counter
 }
 
 // NewBreakdown returns an empty class aggregate.
@@ -100,8 +108,9 @@ func NewBreakdown() *Breakdown {
 
 // String summarises the class on one line.
 func (b *Breakdown) String() string {
-	return fmt.Sprintf("mns=%d speed=%.1fm/s %s handoffs=%d latency[%s]",
-		b.Population, b.Speed.Mean(), b.Flows.String(), b.Handoffs.Value(), b.Latency.String())
+	return fmt.Sprintf("mns=%d speed=%.1fm/s %s handoffs=%d locupd=%d pages=%d latency[%s]",
+		b.Population, b.Speed.Mean(), b.Flows.String(), b.Handoffs.Value(),
+		b.LocationUpdates.Value(), b.Pages.Value(), b.Latency.String())
 }
 
 // Breakdown returns (creating on first use) the named class aggregate.

@@ -58,6 +58,9 @@ type MobileNode struct {
 	OnRegistered func(latency time.Duration)
 	// OnRegistrationFailed is invoked after MaxRetries without a reply.
 	OnRegistrationFailed func()
+	// OnLocationSignal is told about every registration request this
+	// node originates — the per-profile signalling attribution hook.
+	OnLocationSignal func()
 }
 
 var _ netsim.Handler = (*MobileNode)(nil)
@@ -142,6 +145,9 @@ func (mn *MobileNode) sendRegistration(careOf addr.IP, isRetry bool) {
 	}
 	if mn.stats != nil {
 		mn.stats.Signaling.Inc()
+	}
+	if mn.OnLocationSignal != nil {
+		mn.OnLocationSignal()
 	}
 	if mn.current != nil {
 		// Over the air to the FA, which relays (Fig 2.2 step 1b).

@@ -84,6 +84,10 @@ type Mobile struct {
 	OnHandoff func(kind HandoffKind, latency time.Duration)
 	// OnDetached is told when the MN loses coverage entirely.
 	OnDetached func()
+	// OnLocationSignal is told about every location-management message
+	// this MN originates (Location Message refreshes and handoff Update
+	// Location Messages) — the per-profile signalling attribution hook.
+	OnLocationSignal func()
 }
 
 // HostState mirrors the Cellular IP active/idle notion at the multi-tier
@@ -274,6 +278,9 @@ func (m *Mobile) commitHandoff(reply *HandoffReply) {
 	m.seq++
 	up := &UpdateLocation{MN: m.profile.Home, NewCell: p.target, OldCell: oldCell, Seq: m.seq}
 	m.sendControlTo(newSt, up.Marshal())
+	if m.OnLocationSignal != nil {
+		m.OnLocationSignal()
+	}
 
 	if oldCell != topology.NoCell {
 		m.seq++
@@ -362,6 +369,9 @@ func (m *Mobile) sendLocation() {
 	m.seq++
 	loc := &LocationMessage{MN: m.profile.Home, Serving: m.servingCell, Seq: m.seq}
 	m.sendControlTo(m.serving, loc.Marshal())
+	if m.OnLocationSignal != nil {
+		m.OnLocationSignal()
+	}
 }
 
 // SendData emits uplink data through the serving station.

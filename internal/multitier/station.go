@@ -64,6 +64,10 @@ type Station struct {
 	regState   map[addr.IP]*anchorReg
 	regSeq     uint64
 	regLife    time.Duration
+
+	// peakUtil is the highest channel occupancy this cell ever reached —
+	// the per-cell utilization figure the capacity experiments read.
+	peakUtil float64
 }
 
 var _ netsim.Handler = (*Station)(nil)
@@ -177,6 +181,27 @@ func (s *Station) ReleaseSession(mn addr.IP) {
 	if sess, ok := s.sessions[mn]; ok {
 		_ = sess.Release()
 		delete(s.sessions, mn)
+		s.observeOccupancy()
+	}
+}
+
+// PeakUtilization returns the highest channel occupancy the cell
+// reached over the run, in [0, 1].
+func (s *Station) PeakUtilization() float64 { return s.peakUtil }
+
+// observeOccupancy folds the cell's current channel occupancy into the
+// tier's streaming sample and the cell's peak. Called after every
+// admission grant and session release, so the per-tier occupancy
+// distribution is exact without retaining per-event state.
+func (s *Station) observeOccupancy() {
+	u := s.resources.Channels.Utilization()
+	if u > s.peakUtil {
+		s.peakUtil = u
+	}
+	if s.stats != nil {
+		if smp, ok := s.stats.TierOccupancy[s.cell.Tier]; ok {
+			smp.Observe(u)
+		}
 	}
 }
 
@@ -489,18 +514,27 @@ func (s *Station) handleHandoffRequest(m *HandoffRequest, airFrom *netsim.Node) 
 			authOK = false
 			if s.stats != nil {
 				s.stats.AuthFailures.Inc()
+				s.stats.ShedPolicy.Inc()
 			}
 		}
 	}
 	if authOK {
 		if _, ok := s.sessions[m.MN]; ok {
 			// Already admitted here (repeat request): accept idempotently.
+			// Not a fresh admission, so the reason-coded counters — which
+			// partition *resource decisions* — don't move.
 			reply.Accepted = true
 		} else {
 			sess, err := s.resources.Admit(qos.Request{BPS: m.BPS, Handoff: m.From != topology.NoCell})
 			if err == nil {
 				s.sessions[m.MN] = sess
 				reply.Accepted = true
+				if s.stats != nil {
+					s.stats.Admitted.Inc()
+				}
+				s.observeOccupancy()
+			} else if s.stats != nil {
+				s.stats.ShedCapacity.Inc()
 			}
 		}
 	}
@@ -691,6 +725,9 @@ func (s *Station) dropStale(pkt *packet.Packet) {
 func (s *Station) pageFlood(pkt *packet.Packet) {
 	if s.stats != nil {
 		s.stats.Pages.Inc()
+		if s.stats.PageSink != nil {
+			s.stats.PageSink(pkt.Dst)
+		}
 	}
 	if node, ok := s.attached[pkt.Dst]; ok {
 		_ = s.node.Network().DeliverDirect(s.node, node, pkt, s.cfg.AirDelay, s.cfg.AirLoss)

@@ -1,8 +1,12 @@
 package multitier
 
-import "repro/internal/metrics"
+import (
+	"repro/internal/addr"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
 
-// Stats aggregates the multi-tier measurements E3–E7 report.
+// Stats aggregates the multi-tier measurements E3–E7 and E10 report.
 type Stats struct {
 	// LocationMsgs counts Location Messages processed at stations.
 	LocationMsgs *metrics.Counter
@@ -43,6 +47,31 @@ type Stats struct {
 	AnchorRegLatency *metrics.Histogram
 	// TableSize samples live records across stations (per sweep).
 	TableSize *metrics.Sample
+
+	// Admission telemetry (E10): every handoff/attach request resolves to
+	// exactly one of the three reason-coded outcomes, so
+	// admitted + shed_capacity + shed_policy = requests and the shed rate
+	// is directly comparable across topology sizes.
+
+	// Admitted counts requests granted a fresh channel+bandwidth session.
+	Admitted *metrics.Counter
+	// ShedCapacity counts requests refused because the target cell's
+	// channel pool or bandwidth budget was exhausted — the signature of
+	// an under-dimensioned arena.
+	ShedCapacity *metrics.Counter
+	// ShedPolicy counts requests refused by policy rather than raw
+	// capacity: RSMC authentication failures.
+	ShedPolicy *metrics.Counter
+	// TierOccupancy streams per-tier channel occupancy: each station
+	// observes its utilization after every admission grant and session
+	// release, so the sample's mean/max describe how loaded a tier ran
+	// without retaining any per-event state.
+	TierOccupancy map[topology.Tier]*metrics.Sample
+
+	// PageSink, when set, attributes every paging flood to the paged MN
+	// (the scenario engine maps the address to its fleet profile class).
+	// Purely observational: no protocol behaviour reads it.
+	PageSink func(mn addr.IP)
 }
 
 // NewStats wires stats into a registry under the "tier." prefix. A nil
@@ -55,6 +84,10 @@ func NewStats(reg *metrics.Registry) *Stats {
 	for _, k := range []HandoffKind{KindInitial, KindIntraMicroMicro, KindIntraMicroMacro,
 		KindIntraMacroMicro, KindInterSameUpper, KindInterDiffUpper} {
 		byKind[k] = reg.Counter("tier.handoffs." + k.String())
+	}
+	occ := make(map[topology.Tier]*metrics.Sample, 4)
+	for _, tier := range []topology.Tier{topology.TierPico, topology.TierMicro, topology.TierMacro, topology.TierRoot} {
+		occ[tier] = reg.Sample("tier.occupancy." + tier.String())
 	}
 	return &Stats{
 		LocationMsgs:        reg.Counter("tier.location_msgs"),
@@ -75,5 +108,9 @@ func NewStats(reg *metrics.Registry) *Stats {
 		AnchorRegistrations: reg.Counter("tier.anchor.registrations"),
 		AnchorRegLatency:    reg.Histogram("tier.anchor.reg_latency"),
 		TableSize:           reg.Sample("tier.table_size"),
+		Admitted:            reg.Counter("tier.admission.admitted"),
+		ShedCapacity:        reg.Counter("tier.admission.shed_capacity"),
+		ShedPolicy:          reg.Counter("tier.admission.shed_policy"),
+		TierOccupancy:       occ,
 	}
 }

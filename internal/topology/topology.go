@@ -93,6 +93,13 @@ type Domain struct {
 type Config struct {
 	// Roots is the number of upper-layer macro base stations.
 	Roots int
+	// RootCols, when > 0, lays the roots out in a grid of that many
+	// columns (rows grow as needed) instead of the legacy single row.
+	// Dimensioned arenas use this so a large root count stays roughly
+	// square — a hundred roots in one row would make the spatial grid
+	// degenerate and every Manhattan/waypoint trace one-dimensional.
+	// 0, or any value >= Roots, reproduces the single-row layout.
+	RootCols int
 	// MacrosPerRoot is the number of domain macro cells under each root.
 	MacrosPerRoot int
 	// MicrosPerMacro is the number of micro cells per domain.
@@ -124,6 +131,13 @@ func DefaultConfig() Config {
 		PicosPerMicro:  1,
 		BasePrefix:     addr.MustParsePrefix("10.0.0.0/8"),
 	}
+}
+
+// CellCount returns the number of cells Build would create for the
+// config — pure arithmetic, so planners and tables can report topology
+// sizes without building anything.
+func (c Config) CellCount() int {
+	return c.Roots * (1 + c.MacrosPerRoot*(1+c.MicrosPerMacro*(1+c.PicosPerMicro)))
 }
 
 // RootParams is the radio preset for upper-layer macro base stations: a
@@ -266,11 +280,19 @@ func Build(cfg Config) (*Topology, error) {
 	t := &Topology{cfg: cfg}
 	domainID := 0
 
-	// Roots sit in a row, overlapping slightly so inter-root handoff is
-	// geometrically possible.
+	// Roots sit in a row — or, with RootCols set, in a grid — overlapping
+	// slightly so inter-root handoff is geometrically possible. A full
+	// single row is the RootCols >= Roots degenerate grid, so the legacy
+	// layout is the cols=Roots special case of the same arithmetic.
+	cols := cfg.RootCols
+	if cols <= 0 || cols > cfg.Roots {
+		cols = cfg.Roots
+	}
 	rootGap := rootRadio.MaxRange * 1.5
 	for r := 0; r < cfg.Roots; r++ {
-		rootPos := geo.Pt(rootRadio.MaxRange+float64(r)*rootGap, rootRadio.MaxRange)
+		col, row := r%cols, r/cols
+		rootPos := geo.Pt(rootRadio.MaxRange+float64(col)*rootGap,
+			rootRadio.MaxRange+float64(row)*rootGap)
 		root := t.addCell(TierRoot, rootPos, rootRadio, NoCell, NoDomain, fmt.Sprintf("root-%d", r))
 
 		// Domain macros in a ring around the root centre. With a single

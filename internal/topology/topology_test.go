@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/geo"
+	"repro/internal/radio"
 	"repro/internal/simtime"
 )
 
@@ -388,6 +389,160 @@ func TestSingleRootSingleMacro(t *testing.T) {
 	}
 	if len(top.Domains) != 1 {
 		t.Fatalf("domains = %d", len(top.Domains))
+	}
+}
+
+// --- edge geometry -------------------------------------------------------
+
+func TestMultiRootGridLayout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Roots = 9
+	cfg.RootCols = 3
+	top := build(t, cfg)
+	roots := top.CellsOfTier(TierRoot)
+	if len(roots) != 9 {
+		t.Fatalf("roots = %d", len(roots))
+	}
+	// Three distinct X positions and three distinct Y positions: a 3x3
+	// grid, not a row.
+	xs, ys := make(map[float64]bool), make(map[float64]bool)
+	for _, r := range roots {
+		xs[r.Pos.X] = true
+		ys[r.Pos.Y] = true
+	}
+	if len(xs) != 3 || len(ys) != 3 {
+		t.Fatalf("grid has %d columns x %d rows, want 3x3", len(xs), len(ys))
+	}
+	// Roots 0..2 share row 0; roots 0,3,6 share column 0.
+	if roots[0].Pos.Y != roots[2].Pos.Y {
+		t.Fatal("first grid row not horizontal")
+	}
+	if roots[0].Pos.X != roots[6].Pos.X {
+		t.Fatal("first grid column not vertical")
+	}
+	// Grid arenas are two-dimensional: taller than one root band.
+	if top.Arena.Height() <= top.Arena.Width()/2 {
+		t.Fatalf("3x3 grid arena %gx%g is still row-shaped", top.Arena.Width(), top.Arena.Height())
+	}
+	// The hierarchy invariants hold on grids too.
+	for _, c := range top.Cells {
+		if c.Tier != TierRoot && !top.Cell(top.RootOf(c.ID)).Coverage().Contains(c.Pos) {
+			t.Fatalf("%s outside its root's coverage on the grid", c.Name)
+		}
+	}
+}
+
+func TestRootColsDegenerateCasesMatchRow(t *testing.T) {
+	base := DefaultConfig() // 2 roots, RootCols zero: legacy row
+	row := build(t, base)
+	for _, cols := range []int{0, 2, 5} { // 0, ==Roots and >Roots are all the row
+		cfg := base
+		cfg.RootCols = cols
+		top := build(t, cfg)
+		if len(top.Cells) != len(row.Cells) {
+			t.Fatalf("RootCols=%d changed cell count", cols)
+		}
+		for i, c := range top.Cells {
+			if c.Pos != row.Cells[i].Pos {
+				t.Fatalf("RootCols=%d moved cell %s", cols, c.Name)
+			}
+		}
+	}
+}
+
+func TestNoMicros(t *testing.T) {
+	cfg := Config{
+		Roots:          2,
+		MacrosPerRoot:  2,
+		MicrosPerMacro: 0,
+		PicosPerMicro:  3, // irrelevant without micros
+		BasePrefix:     addr.MustParsePrefix("10.0.0.0/8"),
+	}
+	top := build(t, cfg)
+	if n := len(top.CellsOfTier(TierMicro)); n != 0 {
+		t.Fatalf("micros = %d, want 0", n)
+	}
+	if n := len(top.CellsOfTier(TierPico)); n != 0 {
+		t.Fatalf("picos = %d without micros to parent them", n)
+	}
+	// Macro-only domains still exist, own prefixes, and reach the root.
+	if len(top.Domains) != 4 {
+		t.Fatalf("domains = %d", len(top.Domains))
+	}
+	for _, dom := range top.Domains {
+		if len(dom.Cells) != 1 {
+			t.Fatalf("macro-only domain has %d cells", len(dom.Cells))
+		}
+		if top.Cell(dom.Root).Prefix.Bits == 0 {
+			t.Fatal("macro-only domain root has no prefix")
+		}
+	}
+	for _, c := range top.CellsOfTier(TierMacro) {
+		if top.TierOf(top.RootOf(c.ID)) != TierRoot {
+			t.Fatalf("macro %s does not reach a root", c.Name)
+		}
+	}
+}
+
+func TestNoPicos(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PicosPerMicro = 0
+	top := build(t, cfg)
+	if n := len(top.CellsOfTier(TierPico)); n != 0 {
+		t.Fatalf("picos = %d, want 0", n)
+	}
+	// Micros become the leaves: no children anywhere below micro tier.
+	for _, c := range top.CellsOfTier(TierMicro) {
+		for _, ch := range c.Children {
+			if top.TierOf(ch) == TierPico {
+				t.Fatalf("micro %s still parents a pico", c.Name)
+			}
+		}
+	}
+}
+
+func TestRadioOverrides(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RootRadio = RootParams()
+	cfg.RootRadio.MaxRange = 20000
+	cfg.MacroRadio = radio.MacroParams()
+	cfg.MacroRadio.MaxRange = 5000
+	cfg.MicroRadio = radio.MicroParams()
+	cfg.MicroRadio.MaxRange = 900
+	cfg.PicoRadio = radio.PicoParams()
+	cfg.PicoRadio.MaxRange = 150
+	top := build(t, cfg)
+	want := map[Tier]float64{TierRoot: 20000, TierMacro: 5000, TierMicro: 900, TierPico: 150}
+	for _, c := range top.Cells {
+		if c.Radio.MaxRange != want[c.Tier] {
+			t.Fatalf("%s range %g, want %g", c.Name, c.Radio.MaxRange, want[c.Tier])
+		}
+	}
+	// Geometry scales with the overridden ranges: the nesting invariant
+	// must survive a 20 km root.
+	for _, c := range top.Cells {
+		if c.Tier == TierRoot {
+			continue
+		}
+		if !top.Cell(top.RootOf(c.ID)).Coverage().Contains(c.Pos) {
+			t.Fatalf("%s outside root coverage under radio overrides", c.Name)
+		}
+	}
+}
+
+func TestCellCountMatchesBuild(t *testing.T) {
+	cases := []Config{
+		DefaultConfig(),
+		{Roots: 1, MacrosPerRoot: 1, BasePrefix: addr.MustParsePrefix("10.0.0.0/8")},
+		{Roots: 3, RootCols: 2, MacrosPerRoot: 2, MicrosPerMacro: 4, PicosPerMicro: 2,
+			BasePrefix: addr.MustParsePrefix("10.0.0.0/8")},
+		{Roots: 2, MacrosPerRoot: 2, MicrosPerMacro: 0, BasePrefix: addr.MustParsePrefix("10.0.0.0/8")},
+	}
+	for i, cfg := range cases {
+		top := build(t, cfg)
+		if got, want := len(top.Cells), cfg.CellCount(); got != want {
+			t.Errorf("case %d: Build made %d cells, CellCount says %d", i, got, want)
+		}
 	}
 }
 
