@@ -9,10 +9,20 @@ GO ?= go
 OUT ?= bench.txt
 OLD ?= old.txt
 NEW ?= new.txt
-# BENCH_JSON is the perf-trajectory snapshot bench-json writes.
-BENCH_JSON ?= BENCH_4.json
+# BENCH_JSON is the perf-trajectory snapshot bench-json writes and the
+# baseline bench-gate compares against.
+BENCH_JSON ?= BENCH_5.json
+# bench-gate tuning: GATE_ONLY is the single source of truth for what
+# the gate covers — comma-separated benchmark name prefixes, passed to
+# benchjson -only and converted into the -bench run regex below, so the
+# set of benchmarks that run and the set that are gated cannot desync.
+# GATE_LIMIT is the tolerated fractional ns/op (or allocs/op) regression
+# versus the committed baseline.
+GATE_ONLY ?= BenchmarkE6,BenchmarkE9,BenchmarkE10
+GATE_BENCH = $(shell echo '$(GATE_ONLY)' | sed 's/Benchmark//g; s/,/|/g')
+GATE_LIMIT ?= 0.15
 
-.PHONY: verify build test check vet race bench bench-smoke bench-save bench-json bench-compare
+.PHONY: verify build test check vet race bench bench-smoke bench-save bench-json bench-compare bench-gate
 
 verify: build test
 
@@ -28,7 +38,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race bench-smoke
+check: vet race bench-smoke bench-gate
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -54,3 +64,15 @@ bench-json:
 
 bench-compare:
 	sh tools/bench-compare.sh $(OLD) $(NEW)
+
+# bench-gate: the benchmark-regression gate CI runs — re-measure the
+# gated experiment benchmarks (E6, E9 incl. the 10k-MN column, E10) and
+# fail if ns/op (or allocs/op) regressed beyond GATE_LIMIT versus the
+# committed $(BENCH_JSON) baseline. -count 3 repetitions are min-merged
+# by the compare tool so a noisy machine doesn't flag phantom
+# regressions. The intermediate file keeps a failing bench run from
+# silently passing an empty report through the gate.
+bench-gate:
+	$(GO) test -bench '$(GATE_BENCH)' -benchtime 3x -count 3 -benchmem -run '^$$' . > bench-gate.tmp
+	$(GO) run ./tools/benchjson -compare $(BENCH_JSON) -limit $(GATE_LIMIT) -only '$(GATE_ONLY)' < bench-gate.tmp
+	rm -f bench-gate.tmp

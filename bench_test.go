@@ -91,6 +91,48 @@ func BenchmarkE9ScaleSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkE9Scale10k is the scale-sweep headline column: the full
+// 10k-MN mixed-profile fleet under the multi-tier scheme, one cell of
+// the E9 axis (cmd/mmscale sweeps the rest). Tick groups keep the event
+// heap O(distinct intervals) and the bucket candidate cache keeps each
+// measurement tick O(nearby), so this tracks raw large-population
+// simulation throughput.
+func BenchmarkE9Scale10k(b *testing.B) {
+	sw := experiments.ScaleSweep{
+		Populations: []int{10000},
+		Schemes:     []core.Scheme{core.SchemeMultiTier},
+		Duration:    10 * time.Second,
+		Spec:        fleet.DefaultSpec(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9ScaleSweep(benchOpt, sw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Scale10kParallelMeasure is the same column with the
+// measurement phase sharded across GOMAXPROCS workers — byte-identical
+// output, wall time bounded by the sequential decision phase. On a
+// single-core host it degenerates to the sequential cost.
+func BenchmarkE9Scale10kParallelMeasure(b *testing.B) {
+	sw := experiments.ScaleSweep{
+		Populations: []int{10000},
+		Schemes:     []core.Scheme{core.SchemeMultiTier},
+		Duration:    10 * time.Second,
+		Spec:        fleet.DefaultSpec(),
+	}
+	opt := benchOpt
+	opt.MeasureWorkers = runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9ScaleSweep(opt, sw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkE10CapacityMatrix tracks dimensioned-arena throughput at a
 // reduced population (the full 500→10k matrix is cmd/mmscale
 // -dimension's job): two populations, fixed and dimensioned columns,

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,13 +42,20 @@ func run(args []string) error {
 		only       = fs.String("only", "", "run a single experiment (E1..E10)")
 		reps       = fs.Int("reps", 1, "replications per scenario (cells become mean±std)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "scenario workers per experiment")
+		measurew   = fs.Int("measureworkers", 1, "per-scenario measurement workers (0 = GOMAXPROCS); results are byte-identical for any count")
+		jsonOut    = fs.String("json", "", "write a machine-readable run summary (experiments, reps, worker counts, elapsed) to this file ('-' = stderr)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opt := experiments.Options{Seed: *seed, TimeScale: *scale, Reps: *reps, Parallel: *parallel}
+	mw := *measurew
+	if mw == 0 {
+		mw = runtime.GOMAXPROCS(0)
+	}
+	opt := experiments.Options{Seed: *seed, TimeScale: *scale, Reps: *reps, Parallel: *parallel,
+		MeasureWorkers: mw}
 	if err := opt.Validate(); err != nil {
 		return err
 	}
@@ -114,7 +122,53 @@ func run(args []string) error {
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
-	fmt.Fprintf(os.Stderr, "mmbench: %d experiment(s), %d rep(s), %d worker(s) in %v\n",
-		ran, *reps, *parallel, time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "mmbench: %d experiment(s), %d rep(s), %d worker(s), %d measure worker(s) in %v\n",
+		ran, *reps, *parallel, mw, elapsed.Round(time.Millisecond))
+	if *jsonOut != "" {
+		summary := runSummary{
+			Experiments:    ran,
+			Reps:           *reps,
+			Parallel:       *parallel,
+			MeasureWorkers: mw,
+			TimeScale:      *scale,
+			Seed:           *seed,
+			ElapsedMS:      elapsed.Milliseconds(),
+		}
+		if err := writeSummary(*jsonOut, summary); err != nil {
+			return fmt.Errorf("-json: %w", err)
+		}
+	}
 	return nil
+}
+
+// runSummary is the -json document: enough metadata to attribute a
+// regenerated table set to its execution shape — in particular the
+// scenario and measurement worker counts, which change throughput but
+// never bytes.
+type runSummary struct {
+	Experiments    int     `json:"experiments"`
+	Reps           int     `json:"reps"`
+	Parallel       int     `json:"parallel"`
+	MeasureWorkers int     `json:"measure_workers"`
+	TimeScale      float64 `json:"time_scale"`
+	Seed           int64   `json:"seed"`
+	ElapsedMS      int64   `json:"elapsed_ms"`
+}
+
+// writeSummary emits the summary to a file, or to stderr for "-" so the
+// table stream on stdout stays clean.
+func writeSummary(path string, s runSummary) error {
+	out := os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-scale", "0.02", "-only", "E1"}); err != nil {
@@ -38,5 +43,24 @@ func TestRunRejectsDegenerateOptions(t *testing.T) {
 	}
 	if err := run([]string{"-parallel", "0"}); err == nil {
 		t.Fatal("zero parallel accepted")
+	}
+}
+
+func TestRunJSONSummaryRecordsWorkerCounts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := run([]string{"-only", "E1", "-scale", "0.05",
+		"-measureworkers", "3", "-parallel", "2", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got runSummary
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("summary is not JSON: %v\n%s", err, raw)
+	}
+	if got.MeasureWorkers != 3 || got.Parallel != 2 || got.Experiments != 1 {
+		t.Fatalf("summary fields wrong: %+v", got)
 	}
 }

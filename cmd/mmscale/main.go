@@ -20,6 +20,8 @@
 //	mmscale -signalling                         # per-profile location updates + pages
 //	mmscale -dimension                          # E10: fixed vs dimensioned matrix
 //	mmscale -dimension -density dense -headroom 1.5
+//	mmscale -measureworkers 0                   # parallel measurement phase (0 = GOMAXPROCS)
+//	mmscale -dimension -rootocc                 # per-root occupancy column (load balance)
 package main
 
 import (
@@ -52,12 +54,14 @@ func run(args []string) error {
 		scale      = fs.Float64("scale", 1.0, "duration multiplier (e.g. 0.1 for quick runs)")
 		reps       = fs.Int("reps", 1, "replications per cell (cells become mean±std)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "scenario workers")
+		measurew   = fs.Int("measureworkers", 1, "per-scenario measurement workers (0 = GOMAXPROCS); results are byte-identical for any count")
 		mns        = fs.String("mns", joinInts(def.Populations), "comma-separated population axis")
 		schemes    = fs.String("schemes", joinSchemes(def.Schemes), "comma-separated schemes to sweep")
 		duration   = fs.Duration("duration", def.Duration, "virtual span of each scenario")
 		fleetArg   = fs.String("fleet", def.Spec.String(), "population mix as name=share,... (built-in profiles)")
 		signalling = fs.Bool("signalling", false, "add per-profile location-update and paging columns to the E9 sweep (E10 always includes them)")
 		dimension  = fs.Bool("dimension", false, "run the E10 capacity matrix: fixed vs dimensioned topology")
+		rootocc    = fs.Bool("rootocc", false, "with -dimension, add the per-root occupancy load-balance column")
 		density    = fs.String("density", string(capacity.DensityUrban), "dimensioning density preset (sparse|urban|dense)")
 		headroom   = fs.Float64("headroom", capacity.DefaultHeadroom, "dimensioning capacity headroom factor (>= 1)")
 		memstats   = fs.Bool("memstats", false, "print heap statistics after the sweep")
@@ -76,7 +80,12 @@ func run(args []string) error {
 	if sw.Spec, err = fleet.ParseSpec(*fleetArg); err != nil {
 		return fmt.Errorf("-fleet: %w", err)
 	}
-	opt := experiments.Options{Seed: *seed, TimeScale: *scale, Reps: *reps, Parallel: *parallel}
+	mw := *measurew
+	if mw == 0 {
+		mw = runtime.GOMAXPROCS(0)
+	}
+	opt := experiments.Options{Seed: *seed, TimeScale: *scale, Reps: *reps, Parallel: *parallel,
+		MeasureWorkers: mw}
 	if err := opt.Validate(); err != nil {
 		return err
 	}
@@ -93,6 +102,7 @@ func run(args []string) error {
 				Density:  capacity.Density(*density),
 				Headroom: *headroom,
 			},
+			PerRootOccupancy: *rootocc,
 		})
 	} else {
 		tbl, err = experiments.E9ScaleSweep(opt, sw)
@@ -101,8 +111,8 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Println(tbl)
-	fmt.Fprintf(os.Stderr, "mmscale: %d population(s) x %d scheme(s), %d rep(s), %d worker(s) in %v\n",
-		len(sw.Populations), len(sw.Schemes), *reps, *parallel, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "mmscale: %d population(s) x %d scheme(s), %d rep(s), %d worker(s), %d measure worker(s) in %v\n",
+		len(sw.Populations), len(sw.Schemes), *reps, *parallel, mw, time.Since(start).Round(time.Millisecond))
 	if *memstats {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)

@@ -72,3 +72,19 @@ func TestRunRejectsDegenerateOptions(t *testing.T) {
 		t.Fatal("zero reps accepted")
 	}
 }
+
+func TestRunMeasureWorkers(t *testing.T) {
+	// 0 resolves to GOMAXPROCS; any count renders identical bytes, so a
+	// tiny sweep just has to complete.
+	if err := run([]string{"-mns", "20", "-schemes", "multitier-rsmc",
+		"-duration", "3s", "-measureworkers", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-mns", "20", "-schemes", "multitier-rsmc",
+		"-duration", "3s", "-measureworkers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-mns", "20", "-measureworkers", "-2"}); err == nil {
+		t.Fatal("negative -measureworkers accepted")
+	}
+}

@@ -34,7 +34,9 @@ type dedup struct {
 }
 
 func newDedup(capacity int) *dedup {
-	return &dedup{seen: make(map[uint64]bool, capacity), cap: capacity}
+	// Lazily grown from the first packet — see the multitier dedup for
+	// the sizing rationale at 10k-MN populations.
+	return &dedup{cap: capacity}
 }
 
 // duplicate records the packet and reports whether it was already seen.
@@ -42,6 +44,9 @@ func (d *dedup) duplicate(flow, seq uint32) bool {
 	key := uint64(flow)<<32 | uint64(seq)
 	if d.seen[key] {
 		return true
+	}
+	if d.seen == nil {
+		d.seen = make(map[uint64]bool, 64)
 	}
 	d.seen[key] = true
 	d.fifo = append(d.fifo, key)
@@ -65,8 +70,13 @@ type MobileHost struct {
 	bs    *BaseStation // serving station
 	oldBS *BaseStation // non-nil during a semisoft handoff window
 
-	state        HostState
-	seq          uint32
+	state HostState
+	seq   uint32
+	// Bound once so per-packet idle re-arms and per-handoff ticker
+	// restarts never allocate method-value closures.
+	goIdleFn     func()
+	routeFn      func()
+	pagingFn     func()
 	routeTicker  *simtime.Ticker
 	pagingTicker *simtime.Ticker
 	idleTimer    simtime.Event
@@ -96,6 +106,9 @@ func NewMobileHost(node *netsim.Node, ip addr.IP, cfg Config, stats *Stats) *Mob
 	}
 	node.AddAddr(ip)
 	node.SetHandler(h)
+	h.goIdleFn = h.goIdle
+	h.routeFn = func() { h.sendRouteUpdate(false) }
+	h.pagingFn = h.sendPagingUpdate
 	return h
 }
 
@@ -152,7 +165,7 @@ func (h *MobileHost) AttachSemisoft(bs *BaseStation) {
 	h.bs = bs
 	bs.AttachHost(h.ip, h.node) // listen on both during the window
 	h.sendSemisoftUpdate()
-	h.semisoftEvt = h.sched.After(h.cfg.SemisoftDelay, h.completeSemisoft)
+	h.semisoftEvt = h.sched.AfterFIFO(h.cfg.SemisoftDelay, h.completeSemisoft)
 }
 
 func (h *MobileHost) completeSemisoft() {
@@ -190,10 +203,10 @@ func (h *MobileHost) Detach() {
 func (h *MobileHost) restartTickers() {
 	h.stopTickers()
 	if h.state == StateActive {
-		h.routeTicker = h.sched.Every(h.cfg.RouteUpdateTime, func() { h.sendRouteUpdate(false) })
+		h.routeTicker = h.sched.Every(h.cfg.RouteUpdateTime, h.routeFn)
 		h.armIdleTimer()
 	} else {
-		h.pagingTicker = h.sched.Every(h.cfg.PagingUpdateTime, h.sendPagingUpdate)
+		h.pagingTicker = h.sched.Every(h.cfg.PagingUpdateTime, h.pagingFn)
 	}
 }
 
@@ -209,7 +222,7 @@ func (h *MobileHost) stopTickers() {
 
 func (h *MobileHost) armIdleTimer() {
 	h.idleTimer.Cancel()
-	h.idleTimer = h.sched.After(h.cfg.ActiveTimeout, h.goIdle)
+	h.idleTimer = h.sched.AfterFIFO(h.cfg.ActiveTimeout, h.goIdleFn)
 }
 
 func (h *MobileHost) goIdle() {

@@ -108,6 +108,15 @@ type Config struct {
 	Traffic TrafficConfig
 	// MeasureInterval is the MN measurement/decision cadence.
 	MeasureInterval time.Duration
+	// MeasureWorkers > 1 runs the per-MN measurement phase (position +
+	// signal computation — pure per MN) across that many goroutines,
+	// priming each measurement cycle when its first tick opens; handoff
+	// decisions still apply sequentially, in id order, at their original
+	// virtual instants, so results are byte-identical to sequential
+	// execution for any worker count. 0 or 1 measures inline. Mobile IP /
+	// Cellular IP runs with Shadowing draw measurement noise from a
+	// run-shared stream and always measure inline.
+	MeasureWorkers int
 	// ResourceSwitching toggles RSMC buffering (multi-tier only).
 	ResourceSwitching bool
 	// GuardChannels overrides the per-tier guard channel count when >= 0.

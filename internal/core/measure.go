@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+)
+
+// measureDriver is one MN's measurement pipeline: the pure half (position
+// + signal measurement, a function of virtual time and static topology
+// only) feeds the stateful half (the scheme's handoff decision, which
+// runs on the simulation goroutine at the MN's own staggered tick).
+//
+// Splitting the two is what makes the measurement phase parallelisable
+// without touching determinism: when the first member of a measurement
+// cycle fires, the engine can pre-compute every MN's (pos, speed,
+// signals) for its upcoming tick across workers — byte-identical to
+// computing them inline, because the computation is pure per MN — while
+// decisions still apply sequentially, in id order, at their original
+// virtual instants.
+type measureDriver struct {
+	model mobility.Model
+	// measure fills sigs from pos. It must be pure per MN: static
+	// topology plus at most this MN's private rng stream.
+	measure func(dst []radio.Signal, pos geo.Point) []radio.Signal
+	// decide consumes one tick's measurements and may mutate shared
+	// protocol state (handoffs, attachment, admission).
+	decide func(pos geo.Point, speed float64, sigs []radio.Signal)
+	// shared marks a driver whose measurement draws from a run-shared rng
+	// stream (Mobile IP / Cellular IP under shadowing): its draws must
+	// interleave across MNs in tick order, so it always measures inline
+	// and is excluded from the parallel phase.
+	shared bool
+
+	sigs   []radio.Signal // per-MN scratch, reused every tick
+	pos    geo.Point
+	speed  float64
+	primed bool
+}
+
+// driver registers MN i's measurement pipeline and schedules its ticks on
+// the measurement cadence, staggered per MN exactly like the sequential
+// engine always has.
+func (s *scenario) driver(i int, shared bool,
+	measure func(dst []radio.Signal, pos geo.Point) []radio.Signal,
+	decide func(pos geo.Point, speed float64, sigs []radio.Signal)) {
+
+	d := &s.drivers[i]
+	d.model = s.models[i]
+	d.measure = measure
+	d.decide = decide
+	d.shared = shared
+	offset := s.measureOffset(i)
+	s.sched.At(offset, func() {
+		tick := func() { s.measureTick(i) }
+		tick()
+		s.sched.Every(s.cfg.MeasureInterval, tick)
+	})
+}
+
+// measureOffset returns MN i's fixed phase within the measurement
+// interval. MN 0 always holds the earliest phase, so its tick opens each
+// measurement cycle.
+func (s *scenario) measureOffset(i int) time.Duration {
+	return time.Duration(i+1) * s.cfg.MeasureInterval / time.Duration(s.cfg.NumMNs+1)
+}
+
+// anyParallelDriver reports whether at least one registered driver can
+// be primed off the simulation goroutine.
+func (s *scenario) anyParallelDriver() bool {
+	for i := range s.drivers {
+		if s.drivers[i].decide != nil && !s.drivers[i].shared {
+			return true
+		}
+	}
+	return false
+}
+
+// measureTick runs MN i's tick: consume the pre-computed measurement if
+// the parallel phase primed one, compute inline otherwise, then decide.
+func (s *scenario) measureTick(i int) {
+	if i == 0 && s.measureWorkers > 1 {
+		s.primeMeasurements()
+	}
+	d := &s.drivers[i]
+	if !d.primed {
+		now := s.sched.Now()
+		d.pos = d.model.Position(now)
+		d.speed = mobility.Speed(d.model, now)
+		d.sigs = d.measure(d.sigs, d.pos)
+	}
+	d.primed = false
+	d.decide(d.pos, d.speed, d.sigs)
+}
+
+// primeMeasurements pre-computes every non-shared MN's measurement for
+// its tick in the cycle that is just opening (MN 0's tick fires first;
+// MN i ticks exactly stagger(i)-stagger(0) later). Positions are pure
+// functions of virtual time, signal measurement reads only the static
+// topology (plus the MN's private shadowing stream, advanced in the same
+// per-MN order as inline measurement would), and each worker writes only
+// its own MNs' scratch state — so the result is byte-identical to inline
+// computation for any worker count, including one.
+func (s *scenario) primeMeasurements() {
+	base := s.sched.Now() // MN 0's tick time == start of this cycle
+	n := len(s.drivers)
+	workers := s.measureWorkers
+	if workers > n {
+		workers = n
+	}
+	off0 := s.measureOffset(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				d := &s.drivers[i]
+				if d.shared {
+					continue // inline-only: run-shared rng stream
+				}
+				at := base + s.measureOffset(i) - off0
+				d.pos = d.model.Position(at)
+				d.speed = mobility.Speed(d.model, at)
+				d.sigs = d.measure(d.sigs, d.pos)
+				d.primed = true
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

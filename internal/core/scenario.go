@@ -82,6 +82,11 @@ type scenario struct {
 	models   []mobility.Model
 	handoffs *metrics.Counter
 
+	// drivers holds one measurement pipeline per MN (see measure.go);
+	// measureWorkers > 1 turns on the parallel measurement phase.
+	drivers        []measureDriver
+	measureWorkers int
+
 	// fleet is the per-run resolution of cfg.Fleet (nil when unset).
 	fleet *fleetState
 	// arena is the run's private packet allocator (nil = global pool).
@@ -148,6 +153,8 @@ func Run(cfg Config) (*Result, error) {
 	s.cnRouter.Default = lCN
 
 	s.buildMobility()
+	s.drivers = make([]measureDriver, cfg.NumMNs)
+	s.measureWorkers = cfg.MeasureWorkers
 
 	switch cfg.Scheme {
 	case SchemeMobileIP:
@@ -161,6 +168,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// When no registered driver can be primed (flat schemes under
+	// shadowing share one measurement rng), drop to inline measurement
+	// so cycles don't fork and join a worker pool that has nothing to do.
+	if s.measureWorkers > 1 && !s.anyParallelDriver() {
+		s.measureWorkers = 1
 	}
 
 	if err := s.sched.RunUntil(cfg.Duration); err != nil {
@@ -284,20 +297,6 @@ func (s *scenario) onDelivered(i int) func(p *packet.Packet) {
 	}
 }
 
-// driver schedules fn on the measurement cadence, staggered per MN.
-func (s *scenario) driver(i int, fn func(pos geo.Point, speed float64)) {
-	model := s.models[i]
-	offset := time.Duration(i+1) * s.cfg.MeasureInterval / time.Duration(s.cfg.NumMNs+1)
-	s.sched.At(offset, func() {
-		tick := func() {
-			now := s.sched.Now()
-			fn(model.Position(now), mobility.Speed(model, now))
-		}
-		tick()
-		s.sched.Every(s.cfg.MeasureInterval, tick)
-	})
-}
-
 // measureRng returns the shadowing source for MN measurements (nil when
 // shadowing is disabled — deterministic mean signals).
 func (s *scenario) measureRng() *simtime.Rand {
@@ -376,17 +375,19 @@ func (s *scenario) runMobileIP() error {
 		s.startTraffic(i, home, s.rng.Fork())
 
 		current := topology.NoCell
-		var sigs []radio.Signal // per-driver scratch, reused every tick
-		s.driver(i, func(pos geo.Point, speed float64) {
-			sigs = s.measureFA(sigs, faCells, pos, measure)
-			best := topology.CellID(sel.Best(int(current), sigs))
-			if best == topology.NoCell || best == current {
-				return
-			}
-			current = best
-			s.noteHandoff(i)
-			mn.MoveTo(fas[best])
-		})
+		s.driver(i, measure != nil,
+			func(dst []radio.Signal, pos geo.Point) []radio.Signal {
+				return s.measureFA(dst, faCells, pos, measure)
+			},
+			func(pos geo.Point, speed float64, sigs []radio.Signal) {
+				best := topology.CellID(sel.Best(int(current), sigs))
+				if best == topology.NoCell || best == current {
+					return
+				}
+				current = best
+				s.noteHandoff(i)
+				mn.MoveTo(fas[best])
+			})
 	}
 	return nil
 }
@@ -450,21 +451,23 @@ func (s *scenario) runCellularIP(semisoft bool) error {
 		s.startTraffic(i, ip, s.rng.Fork())
 
 		current := topology.NoCell
-		var sigs []radio.Signal // per-driver scratch, reused every tick
-		s.driver(i, func(pos geo.Point, speed float64) {
-			sigs = s.top.MeasureInto(sigs, pos, measure)
-			best := topology.CellID(sel.Best(int(current), sigs))
-			if best == topology.NoCell || best == current {
-				return
-			}
-			current = best
-			s.noteHandoff(i)
-			if semisoft {
-				host.AttachSemisoft(stations[best])
-			} else {
-				host.AttachHard(stations[best])
-			}
-		})
+		s.driver(i, measure != nil,
+			func(dst []radio.Signal, pos geo.Point) []radio.Signal {
+				return s.top.MeasureInto(dst, pos, measure)
+			},
+			func(pos geo.Point, speed float64, sigs []radio.Signal) {
+				best := topology.CellID(sel.Best(int(current), sigs))
+				if best == topology.NoCell || best == current {
+					return
+				}
+				current = best
+				s.noteHandoff(i)
+				if semisoft {
+					host.AttachSemisoft(stations[best])
+				} else {
+					host.AttachHard(stations[best])
+				}
+			})
 	}
 	stats.PageSink = s.pageSink(byAddr)
 	return nil
@@ -557,7 +560,12 @@ func (s *scenario) runMultiTier() error {
 			byAddr[home] = bd
 		}
 		s.startTraffic(i, home, s.rng.Fork())
-		s.driver(i, mob.Evaluate)
+		// The multi-tier MN owns a private shadowing stream, so its
+		// measurement half is parallel-safe even with shadowing on.
+		s.driver(i, false, mob.MeasureInto,
+			func(pos geo.Point, speed float64, sigs []radio.Signal) {
+				mob.EvaluateSignals(speed, sigs)
+			})
 	}
 	stats.PageSink = s.pageSink(byAddr)
 	return nil

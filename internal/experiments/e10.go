@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/capacity"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/multitier"
 	"repro/internal/runner"
 	"repro/internal/topology"
 )
@@ -32,6 +34,12 @@ type CapacityMatrix struct {
 	// Planner tunes the dimensioned column (zero value = documented
 	// planner defaults).
 	Planner capacity.PlannerConfig
+	// PerRootOccupancy adds a load-balance column: the spread of mean
+	// channel occupancy across the grid's root subtrees, showing where
+	// the dimensioning headroom factor is actually spent. Off by default
+	// so the pinned golden table keeps its exact bytes; cmd/mmscale
+	// -rootocc turns it on.
+	PerRootOccupancy bool
 }
 
 // Validate applies the ScaleSweep axis rules to the matrix.
@@ -132,21 +140,25 @@ func e10Plan(opt Options, m CapacityMatrix) (plan, error) {
 			}
 		}
 	}
+	header := []string{"MNs", "topology", "cells", "scheme",
+		"admitted", "shed-capacity", "shed-policy", "shed rate",
+		"loss", "mean delay", "handoffs/MN", "micro occ mean/max", "loc upd/MN", "pages"}
+	if m.PerRootOccupancy {
+		header = append(header, "root occ spread")
+	}
 	p := plan{
 		num:  10,
 		jobs: jobs,
 		render: func(res []runner.JobResult) (*Table, error) {
 			t := &Table{
-				ID:    "E10",
-				Title: fmt.Sprintf("Capacity x population matrix: fixed vs dimensioned topology (mix %s)", m.Spec.String()),
-				Header: []string{"MNs", "topology", "cells", "scheme",
-					"admitted", "shed-capacity", "shed-policy", "shed rate",
-					"loss", "mean delay", "handoffs/MN", "micro occ mean/max", "loc upd/MN", "pages"},
+				ID:     "E10",
+				Title:  fmt.Sprintf("Capacity x population matrix: fixed vs dimensioned topology (mix %s)", m.Spec.String()),
+				Header: header,
 			}
 			for i, r := range res {
 				mt := metas[i]
 				sig := fleetSignallingCells(r, m.Spec)
-				t.AddRow(fmtI(mt.mns), mt.mode, fmtI(mt.cells), string(mt.scheme),
+				row := []string{fmtI(mt.mns), mt.mode, fmtI(mt.cells), string(mt.scheme),
 					fmtStatI(r.Counter("tier.admission.admitted")),
 					fmtStatI(r.Counter("tier.admission.shed_capacity")),
 					fmtStatI(r.Counter("tier.admission.shed_policy")),
@@ -157,7 +169,11 @@ func e10Plan(opt Options, m CapacityMatrix) (plan, error) {
 						return float64(res.Summary.Handoffs) / float64(res.Config.NumMNs)
 					})),
 					microOccupancy(r),
-					sig[0], sig[1])
+					sig[0], sig[1]}
+				if m.PerRootOccupancy {
+					row = append(row, rootOccupancySpread(r))
+				}
+				t.AddRow(row...)
 			}
 			for _, n := range m.Populations {
 				for i := range metas {
@@ -169,6 +185,9 @@ func e10Plan(opt Options, m CapacityMatrix) (plan, error) {
 			}
 			t.AddNote("shed rate = shed-capacity / admission decisions; only multitier-rsmc runs admission control, so flat-scheme rows read 0 (they deliver into congestion instead of shedding)")
 			t.AddNote("a fixed-topology shed rate that grows with MNs while the dimensioned rate stays flat means earlier sweeps measured capacity exhaustion, not scheme cost")
+			if m.PerRootOccupancy {
+				t.AddNote("root occ spread = min..max of per-root mean channel occupancy (first replication): a wide spread means the headroom factor is spent on hot roots while others idle")
+			}
 			return t, nil
 		},
 	}
@@ -186,6 +205,40 @@ func shedRate(res *core.Result) float64 {
 		return 0
 	}
 	return float64(shed) / float64(total)
+}
+
+// rootOccupancySpread renders the load-balance picture of one cell: the
+// lowest and highest per-root mean channel occupancy across the grid's
+// root subtrees (first-replication values, like microOccupancy). Flat
+// schemes have no admission model, so their rows read "-"; a one-root
+// arena degenerates to a single value.
+func rootOccupancySpread(r runner.JobResult) string {
+	first := r.First()
+	if first == nil {
+		return ""
+	}
+	lo, hi, roots := 0.0, 0.0, 0
+	for _, name := range first.Registry.Names() {
+		if !strings.HasPrefix(name, multitier.RootOccupancyPrefix) {
+			continue
+		}
+		s := first.Registry.Sample(name)
+		if s.Count() == 0 {
+			continue
+		}
+		m := s.Mean()
+		if roots == 0 || m < lo {
+			lo = m
+		}
+		if roots == 0 || m > hi {
+			hi = m
+		}
+		roots++
+	}
+	if roots == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%..%.0f%% (%d roots)", 100*lo, 100*hi, roots)
 }
 
 // microOccupancy renders the micro tier's streaming occupancy sample as

@@ -26,6 +26,10 @@ type Options struct {
 	Reps int
 	// Parallel is the scenario worker count; 0 means GOMAXPROCS.
 	Parallel int
+	// MeasureWorkers is the per-scenario measurement worker count: > 1
+	// parallelises each scenario's per-MN measurement phase without
+	// changing a single output byte. 0 measures inline (the default).
+	MeasureWorkers int
 }
 
 // ErrBadOptions reports a degenerate Options value.
@@ -44,6 +48,9 @@ func (o Options) Validate() error {
 	}
 	if o.Parallel < 1 {
 		return fmt.Errorf("%w: parallel %d (must be >= 1)", ErrBadOptions, o.Parallel)
+	}
+	if o.MeasureWorkers < 0 {
+		return fmt.Errorf("%w: measure workers %d (must be >= 0)", ErrBadOptions, o.MeasureWorkers)
 	}
 	return nil
 }
@@ -107,10 +114,11 @@ func (p plan) seeds(o Options) []int64 {
 // harness (cfg.Seed = opt.Seed + experiment) bit-for-bit.
 func (o Options) execute(experiment int, jobs []runner.Job) ([]runner.JobResult, error) {
 	res, err := runner.Run(jobs, runner.Options{
-		BaseSeed: o.Seed + int64(experiment),
-		Reps:     o.Reps,
-		Parallel: o.Parallel,
-		Paired:   true,
+		BaseSeed:       o.Seed + int64(experiment),
+		Reps:           o.Reps,
+		Parallel:       o.Parallel,
+		Paired:         true,
+		MeasureWorkers: o.MeasureWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("E%d: %w", experiment, err)
@@ -632,9 +640,10 @@ func All(opt Options) ([]*Table, error) {
 		}
 	}
 	res, err := runner.Run(flat, runner.Options{
-		BaseSeed: opt.Seed,
-		Reps:     opt.Reps,
-		Parallel: opt.Parallel,
+		BaseSeed:       opt.Seed,
+		Reps:           opt.Reps,
+		Parallel:       opt.Parallel,
+		MeasureWorkers: opt.MeasureWorkers,
 	})
 	out := make([]*Table, 0, len(ps))
 	if err != nil {

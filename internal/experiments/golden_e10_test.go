@@ -85,6 +85,25 @@ func TestGoldenE10ParallelMatches(t *testing.T) {
 	}
 }
 
+// TestGoldenE10ParallelMeasurementMatches proves dimensioned arenas are
+// safe under the per-scenario parallel measurement phase too: the pinned
+// matrix with measurement workers must equal the golden bytes.
+func TestGoldenE10ParallelMeasurementMatches(t *testing.T) {
+	want, err := os.ReadFile(goldenE10Path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	opt := goldenE10Options()
+	opt.MeasureWorkers = 4
+	tbl, err := E10CapacityMatrix(opt, goldenE10Matrix())
+	if err != nil {
+		t.Fatalf("E10CapacityMatrix: %v", err)
+	}
+	if got := tbl.String() + "\n"; got != string(want) {
+		t.Fatalf("parallel-measurement E10 diverged from golden at byte %d", firstDiff(got, string(want)))
+	}
+}
+
 // TestE10DimensionedShedsLess pins the ISSUE's headline acceptance
 // criterion at 5k MNs: on the fixed 13-cell topology the multi-tier
 // scheme sheds the majority of admission decisions for capacity, while
@@ -183,6 +202,41 @@ func TestE10FlatSchemesRunOnDimensionedArena(t *testing.T) {
 		}
 		if got := r.Counter("tier.admission.admitted"); got.Mean != 0 {
 			t.Errorf("%s: flat scheme reports %v multi-tier admissions", r.Job.Label, got.Mean)
+		}
+	}
+}
+
+// TestE10RootOccupancyColumnOptIn proves the per-root load-balance
+// column appears exactly when asked for (the pinned golden keeps its
+// bytes without it) and that multi-tier rows on a dimensioned multi-root
+// grid actually report a spread.
+func TestE10RootOccupancyColumnOptIn(t *testing.T) {
+	m := goldenE10Matrix()
+	m.Populations = []int{80}
+	m.Schemes = []core.Scheme{core.SchemeMultiTier}
+	plain, err := E10CapacityMatrix(goldenE10Options(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PerRootOccupancy = true
+	rich, err := E10CapacityMatrix(goldenE10Options(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rich.Header), len(plain.Header)+1; got != want {
+		t.Fatalf("root-occupancy header has %d columns, want %d", got, want)
+	}
+	if rich.Header[len(rich.Header)-1] != "root occ spread" {
+		t.Fatalf("root-occupancy column misnamed: %v", rich.Header)
+	}
+	for i, row := range rich.Rows {
+		if len(row) != len(rich.Header) {
+			t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(rich.Header))
+		}
+		// Multi-tier runs admission control, so every row (fixed and
+		// dimensioned) must report per-root occupancy, not "-".
+		if cell := row[len(row)-1]; cell == "-" || cell == "" {
+			t.Fatalf("row %d reports no root occupancy: %v", i, row)
 		}
 	}
 }

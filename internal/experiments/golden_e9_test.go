@@ -82,6 +82,26 @@ func TestGoldenE9ParallelMatches(t *testing.T) {
 	}
 }
 
+// TestGoldenE9ParallelMeasurementMatches proves the measurement phase
+// can shard across workers inside a fleet scenario without moving a
+// byte: the pinned sweep under measurement workers must equal the
+// golden file exactly.
+func TestGoldenE9ParallelMeasurementMatches(t *testing.T) {
+	want, err := os.ReadFile(goldenE9Path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	opt := goldenE9Options()
+	opt.MeasureWorkers = 4
+	tbl, err := E9ScaleSweep(opt, goldenE9Sweep())
+	if err != nil {
+		t.Fatalf("E9ScaleSweep: %v", err)
+	}
+	if got := tbl.String() + "\n"; got != string(want) {
+		t.Fatalf("parallel-measurement E9 diverged from golden at byte %d", firstDiff(got, string(want)))
+	}
+}
+
 // TestE9EveryProfilePopulated guards the table contents (not just the
 // bytes): each cell's per-profile rows report non-zero populations that
 // sum exactly to the cell's MN count.

@@ -79,6 +79,29 @@ func TestGoldenSuiteParallelMatches(t *testing.T) {
 	}
 }
 
+// TestGoldenSuiteParallelMeasurementMatches proves the per-scenario
+// parallel measurement phase does not perturb results either: the suite
+// with several measurement workers per scenario must render the exact
+// golden bytes, for any worker count.
+func TestGoldenSuiteParallelMeasurementMatches(t *testing.T) {
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	for _, workers := range []int{2, 5} {
+		opt := goldenOptions()
+		opt.MeasureWorkers = workers
+		tables, err := All(opt)
+		if err != nil {
+			t.Fatalf("All with %d measure workers: %v", workers, err)
+		}
+		if got := renderTables(tables); got != string(want) {
+			t.Fatalf("%d measure workers diverged from golden at byte %d",
+				workers, firstDiff(got, string(want)))
+		}
+	}
+}
+
 func firstDiff(a, b string) int {
 	n := len(a)
 	if len(b) < n {

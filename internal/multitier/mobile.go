@@ -77,6 +77,11 @@ type Mobile struct {
 	sigScratch []radio.Signal
 	decScratch decisionScratch
 	probeFn    ResourceProbe // bound once in NewMobile
+	// goIdleFn and sendLocationFn are bound once so the per-packet idle
+	// timer re-arm and the per-handoff ticker restart never allocate a
+	// method-value closure.
+	goIdleFn       func()
+	sendLocationFn func()
 
 	// OnData receives every unique data packet delivered to the MN.
 	OnData func(p *packet.Packet)
@@ -124,6 +129,8 @@ func NewMobile(node *netsim.Node, profile *Profile, top *topology.Topology, dir 
 	node.AddAddr(profile.Home)
 	node.SetHandler(m)
 	m.probeFn = m.probeResources
+	m.goIdleFn = m.goIdle
+	m.sendLocationFn = m.sendLocation
 	return m
 }
 
@@ -146,13 +153,20 @@ type dedup struct {
 }
 
 func newDedup(capacity int) *dedup {
-	return &dedup{seen: make(map[uint64]bool, capacity), cap: capacity}
+	// The map grows lazily from its first packet: pre-sizing to the
+	// eviction capacity would charge every MN of a 10k population ~48KB
+	// of map tables at build time, while a typical MN holds far fewer
+	// in-flight (flow, seq) pairs than the eviction bound.
+	return &dedup{cap: capacity}
 }
 
 func (d *dedup) duplicate(flow, seq uint32) bool {
 	key := uint64(flow)<<32 | uint64(seq)
 	if d.seen[key] {
 		return true
+	}
+	if d.seen == nil {
+		d.seen = make(map[uint64]bool, 64)
 	}
 	d.seen[key] = true
 	d.fifo = append(d.fifo, key)
@@ -180,8 +194,24 @@ func (m *Mobile) State() HostState { return m.state }
 // target differs from the serving cell. The scheme driver calls this on
 // its measurement cadence.
 func (m *Mobile) Evaluate(pos geo.Point, speedMPS float64) {
-	m.sigScratch = m.top.MeasureInto(m.sigScratch, pos, m.rng)
-	signals := m.sigScratch
+	m.sigScratch = m.MeasureInto(m.sigScratch, pos)
+	m.EvaluateSignals(speedMPS, m.sigScratch)
+}
+
+// MeasureInto fills dst (reusing its capacity) with the MN's signal
+// measurements at pos. This is the pure half of Evaluate: it reads only
+// the static topology and the MN's private shadowing stream, so the
+// scenario engine may run it for many MNs in parallel ahead of their
+// staggered decision ticks.
+func (m *Mobile) MeasureInto(dst []radio.Signal, pos geo.Point) []radio.Signal {
+	return m.top.MeasureInto(dst, pos, m.rng)
+}
+
+// EvaluateSignals is the decision half of Evaluate, operating on
+// pre-measured signals: run the three-factor engine and start a handoff
+// when the target differs from the serving cell. It mutates protocol
+// state and must run on the simulation goroutine at the MN's own tick.
+func (m *Mobile) EvaluateSignals(speedMPS float64, signals []radio.Signal) {
 	target := m.decScratch.choose(m.top, m.servingCell, signals, speedMPS, m.probeFn, m.pol)
 
 	if target == topology.NoCell {
@@ -245,7 +275,7 @@ func (m *Mobile) requestHandoff(target topology.CellID, speedMPS float64) {
 		copy(req.Token[:], a.Token(m.profile.Home, m.nonce))
 	}
 	m.pending = &pendingHandoff{target: target, seq: m.seq, sentAt: m.sched.Now()}
-	m.pending.timeout = m.sched.After(m.cfg.HandoffTimeout, func() {
+	m.pending.timeout = m.sched.AfterFIFO(m.cfg.HandoffTimeout, func() {
 		if m.pending != nil && m.pending.seq == req.Seq {
 			m.pending = nil // abandoned; next Evaluate retries
 		}
@@ -322,10 +352,10 @@ func (m *Mobile) restartTickers() {
 		return
 	}
 	if m.state == StateActive {
-		m.locTicker = m.sched.Every(m.cfg.LocationInterval, m.sendLocation)
+		m.locTicker = m.sched.Every(m.cfg.LocationInterval, m.sendLocationFn)
 		m.armIdleTimer()
 	} else {
-		m.locTicker = m.sched.Every(m.cfg.PagingInterval, m.sendLocation)
+		m.locTicker = m.sched.Every(m.cfg.PagingInterval, m.sendLocationFn)
 	}
 }
 
@@ -338,7 +368,7 @@ func (m *Mobile) stopTickers() {
 
 func (m *Mobile) armIdleTimer() {
 	m.idleTimer.Cancel()
-	m.idleTimer = m.sched.After(m.cfg.ActiveTimeout, m.goIdle)
+	m.idleTimer = m.sched.AfterFIFO(m.cfg.ActiveTimeout, m.goIdleFn)
 }
 
 func (m *Mobile) goIdle() {

@@ -68,6 +68,9 @@ type Station struct {
 	// peakUtil is the highest channel occupancy this cell ever reached —
 	// the per-cell utilization figure the capacity experiments read.
 	peakUtil float64
+	// rootOcc streams this cell's occupancy into its root's aggregate —
+	// the per-root load-balance telemetry dimensioned grids report.
+	rootOcc *metrics.Sample
 }
 
 var _ netsim.Handler = (*Station)(nil)
@@ -98,6 +101,9 @@ func NewStation(node *netsim.Node, cell *topology.Cell, top *topology.Topology,
 	}
 	if ip, err := cell.Prefix.Nth(1); err == nil {
 		node.AddAddr(ip)
+	}
+	if stats != nil {
+		s.rootOcc = stats.RootOccupancy(top.RootOf(cell.ID))
 	}
 	node.SetHandler(s)
 	dir.registerStation(s)
@@ -190,9 +196,10 @@ func (s *Station) ReleaseSession(mn addr.IP) {
 func (s *Station) PeakUtilization() float64 { return s.peakUtil }
 
 // observeOccupancy folds the cell's current channel occupancy into the
-// tier's streaming sample and the cell's peak. Called after every
-// admission grant and session release, so the per-tier occupancy
-// distribution is exact without retaining per-event state.
+// tier's streaming sample, the owning root's load-balance sample and the
+// cell's peak. Called after every admission grant and session release, so
+// both occupancy distributions are exact without retaining per-event
+// state.
 func (s *Station) observeOccupancy() {
 	u := s.resources.Channels.Utilization()
 	if u > s.peakUtil {
@@ -201,6 +208,9 @@ func (s *Station) observeOccupancy() {
 	if s.stats != nil {
 		if smp, ok := s.stats.TierOccupancy[s.cell.Tier]; ok {
 			smp.Observe(u)
+		}
+		if s.rootOcc != nil {
+			s.rootOcc.Observe(u)
 		}
 	}
 }
@@ -442,7 +452,7 @@ func (s *Station) installForward(mn addr.IP, newCell topology.CellID) {
 	}
 	fr.newCell = newCell
 	fr.expires = s.sched.Now() + s.cfg.ForwardTTL
-	s.sched.After(s.cfg.ForwardTTL, func() { s.expireForward(mn) })
+	s.sched.AfterFIFO(s.cfg.ForwardTTL, func() { s.expireForward(mn) })
 }
 
 func (s *Station) expireForward(mn addr.IP) {
@@ -658,7 +668,7 @@ func (s *Station) deliverAir(pkt *packet.Packet) {
 				}
 				s.forwards[pkt.Dst] = fr
 				mn := pkt.Dst
-				s.sched.After(s.cfg.ForwardTTL, func() { s.expireForward(mn) })
+				s.sched.AfterFIFO(s.cfg.ForwardTTL, func() { s.expireForward(mn) })
 				// Stale air state: drop the table record so later packets
 				// take the forward path immediately.
 				s.tables.Delete(pkt.Dst)
@@ -683,7 +693,7 @@ func (s *Station) bufferPacket(pkt *packet.Packet, fr *forwardRec) {
 		}
 		if !fr.drainEvt.Pending() {
 			mn := pkt.Dst
-			fr.drainEvt = s.sched.After(s.cfg.DrainDelay, func() { s.timedDrain(mn) })
+			fr.drainEvt = s.sched.AfterFIFO(s.cfg.DrainDelay, func() { s.timedDrain(mn) })
 		}
 		return
 	}

@@ -1,6 +1,8 @@
 package multitier
 
 import (
+	"strconv"
+
 	"repro/internal/addr"
 	"repro/internal/metrics"
 	"repro/internal/topology"
@@ -72,6 +74,33 @@ type Stats struct {
 	// (the scenario engine maps the address to its fleet profile class).
 	// Purely observational: no protocol behaviour reads it.
 	PageSink func(mn addr.IP)
+
+	// reg backs the lazily-created per-root occupancy samples: roots are
+	// a property of the topology, which does not exist yet when NewStats
+	// runs.
+	reg     *metrics.Registry
+	rootOcc map[topology.CellID]*metrics.Sample
+}
+
+// RootOccupancyPrefix names the per-root occupancy samples: the sample
+// for root cell id r is RootOccupancyPrefix + strconv.Itoa(int(r)).
+const RootOccupancyPrefix = "tier.occupancy.root."
+
+// RootOccupancy returns (creating on first use) the streaming occupancy
+// sample aggregating every cell beneath the given root — the
+// load-balance telemetry that shows where a dimensioned grid's headroom
+// factor is actually spent. Stations feed it on every admission grant
+// and session release.
+func (s *Stats) RootOccupancy(root topology.CellID) *metrics.Sample {
+	if smp, ok := s.rootOcc[root]; ok {
+		return smp
+	}
+	if s.rootOcc == nil {
+		s.rootOcc = make(map[topology.CellID]*metrics.Sample, 8)
+	}
+	smp := s.reg.Sample(RootOccupancyPrefix + strconv.Itoa(int(root)))
+	s.rootOcc[root] = smp
+	return smp
 }
 
 // NewStats wires stats into a registry under the "tier." prefix. A nil
@@ -90,6 +119,7 @@ func NewStats(reg *metrics.Registry) *Stats {
 		occ[tier] = reg.Sample("tier.occupancy." + tier.String())
 	}
 	return &Stats{
+		reg:                 reg,
 		LocationMsgs:        reg.Counter("tier.location_msgs"),
 		UpdateMsgs:          reg.Counter("tier.update_msgs"),
 		DeleteMsgs:          reg.Counter("tier.delete_msgs"),

@@ -129,6 +129,20 @@ func (nd *Node) Send(l *Link, pkt *packet.Packet) error {
 		return nil
 	}
 
+	f := net.getFlight()
+	f.to, f.from, f.link, f.pkt, f.dir = l.Peer(nd), nd, l, pkt, dir
+	f.lost = net.rng.Bool(l.cfg.Loss)
+	if l.cfg.RateBps <= 0 && l.cfg.QueueLimit <= 0 {
+		// No serialization delay and no queue bound: the transmitter is
+		// never busy (done == now for every packet), so the queue counter
+		// could only ever be observed at zero and the txDone event would
+		// be a same-instant no-op. Skip both and ride the constant-delay
+		// FIFO line: arrival == now + Delay for every packet of the link,
+		// and the scheduler heap stays flat no matter how many packets
+		// are in flight.
+		net.sched.AfterFIFO(l.cfg.Delay, f.fireFn)
+		return nil
+	}
 	now := net.sched.Now()
 	start := now
 	if dir.busyUntil > start {
@@ -137,10 +151,6 @@ func (nd *Node) Send(l *Link, pkt *packet.Packet) error {
 	done := start + l.txDelay(pkt.Size())
 	dir.busyUntil = done
 	dir.queued++
-
-	f := net.getFlight()
-	f.to, f.from, f.link, f.pkt, f.dir = l.Peer(nd), nd, l, pkt, dir
-	f.lost = net.rng.Bool(l.cfg.Loss)
 	net.sched.At(done, f.txFn)
 	net.sched.At(done+l.cfg.Delay, f.fireFn)
 	return nil

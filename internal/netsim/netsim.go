@@ -311,6 +311,8 @@ func (n *Network) DeliverDirect(from, to *Node, pkt *packet.Packet, delay time.D
 	f := n.getFlight()
 	f.to, f.from, f.pkt = to, from, pkt
 	f.lost = n.rng.Bool(loss)
-	n.sched.After(delay, f.fireFn)
+	// Air delays are per-station constants, so deliveries ride the
+	// constant-delay FIFO lines instead of the scheduler heap.
+	n.sched.AfterFIFO(delay, f.fireFn)
 	return nil
 }

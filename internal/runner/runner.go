@@ -50,6 +50,11 @@ type Options struct {
 	// traffic draws and differences isolate the scheme under test.
 	// Unpaired batches draw an independent seed per (job, replication).
 	Paired bool
+	// MeasureWorkers, when > 0, sets core.Config.MeasureWorkers on every
+	// job that did not pin its own value: the per-scenario parallel
+	// measurement phase. Results are byte-identical for any worker count,
+	// so this is purely a throughput knob.
+	MeasureWorkers int
 }
 
 // ErrBadOptions reports a degenerate Options value.
@@ -170,6 +175,9 @@ func Run(jobs []Job, opt Options) ([]JobResult, error) {
 				// Each (job, rep) slot is written by exactly one worker.
 				cfg := jobs[t.job].Config
 				cfg.Seed = results[t.job].Seeds[t.rep]
+				if cfg.MeasureWorkers == 0 {
+					cfg.MeasureWorkers = opt.MeasureWorkers
+				}
 				res, err := core.Run(cfg)
 				if err != nil {
 					label := jobs[t.job].Label

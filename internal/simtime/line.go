@@ -1,0 +1,192 @@
+package simtime
+
+import "time"
+
+// AfterFIFO schedules fn to run d after the current virtual time, exactly
+// like After, but through the per-delay FIFO line: because d is the same
+// for every entry of a line, due times are non-decreasing in scheduling
+// order, so the line is a plain ring buffer and the whole line occupies a
+// single scheduler-heap entry (for its front member) instead of one per
+// pending callback. Use it for hot constant-delay work — link flights,
+// air deliveries, protocol timeouts with a fixed horizon — and keep After
+// for variable delays. Negative d clamps to zero.
+//
+// Semantics are identical to After, including Cancel/Pending on the
+// returned Event and FIFO tie-breaks against unrelated events (each entry
+// draws its sequence number from the shared scheduler counter at
+// scheduling time, and the line's pooled event runs under the front
+// entry's own (time, seq) coordinates).
+func (s *Scheduler) AfterFIFO(d time.Duration, fn func()) Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.line(d).schedule(fn)
+}
+
+// line returns (creating on first use) the delay line for d.
+func (s *Scheduler) line(d time.Duration) *delayLine {
+	if s.lines == nil {
+		s.lines = make(map[time.Duration]*delayLine, 8)
+	}
+	ln := s.lines[d]
+	if ln == nil {
+		ln = &delayLine{s: s, d: d}
+		ln.fireFn = ln.fire
+		s.lines[d] = ln
+	}
+	return ln
+}
+
+// delayLine pools every pending AfterFIFO(d, …) one-shot behind a single
+// scheduler event. Entries live in the shared slot arena (so Event
+// handles, Cancel and generation safety work unchanged) and are threaded
+// through a FIFO ring of slot indices. Cancellation is lazy: cancelled
+// entries are collected when they reach the ring front, and a pooled
+// event that fires onto a cancelled front simply re-syncs to the next
+// live entry.
+type delayLine struct {
+	s *Scheduler
+	d time.Duration
+
+	ring  []int32 // circular buffer of slot indices
+	head  int     // index of the front entry
+	count int     // occupied ring cells (live + lazily-cancelled)
+
+	event  Event // pending scheduler event for the front entry
+	evAt   time.Duration
+	evSeq  uint64
+	fireFn func() // bound once so re-scheduling never allocates
+}
+
+// schedule appends one entry and keeps the pooled event on the front.
+func (ln *delayLine) schedule(fn func()) Event {
+	s := ln.s
+	i := s.allocSlot()
+	sl := &s.slots[i]
+	sl.at = s.now + ln.d
+	sl.seq = s.takeSeq()
+	sl.fn = fn
+	sl.canceled = false
+	sl.pos = posInLine
+	ln.push(i)
+	s.members++
+	ln.sync()
+	return Event{s: s, idx: i + 1, gen: sl.gen}
+}
+
+// dropCanceled frees lazily-cancelled entries sitting at the ring front.
+func (ln *delayLine) dropCanceled() {
+	for ln.count > 0 {
+		i := ln.ring[ln.head]
+		if !ln.s.slots[i].canceled {
+			return
+		}
+		ln.pop()
+		ln.s.freeSlot(i)
+	}
+}
+
+// sync makes the pooled scheduler event track the front entry.
+func (ln *delayLine) sync() {
+	ln.dropCanceled()
+	if ln.count == 0 {
+		if ln.event.Cancel() {
+			ln.s.groupEvts--
+		}
+		ln.event = Event{}
+		return
+	}
+	front := &ln.s.slots[ln.ring[ln.head]]
+	if ln.event.Pending() {
+		if ln.evAt == front.at && ln.evSeq == front.seq {
+			return
+		}
+		ln.event.Cancel()
+		ln.s.groupEvts--
+	}
+	ln.event = ln.s.atSeq(front.at, front.seq, ln.fireFn)
+	ln.s.groupEvts++
+	ln.evAt, ln.evSeq = front.at, front.seq
+}
+
+// fire runs the front entry the pooled event was scheduled for. If that
+// entry was cancelled after the event went up, nothing runs and the line
+// re-syncs to the next live entry.
+//
+// After the front runs, consecutive same-instant entries are batched:
+// whenever the new front is due exactly now and sorts before the
+// scheduler's earliest heap event, it is by construction the globally
+// next event — running it directly saves the heap round trip a re-sync
+// would cost. Constant-delay traffic is bursty in exactly this way
+// (every voice source frames on the same 20 ms boundaries), so the
+// batch turns N same-instant flights into N ring pops and one heap
+// operation. Order, virtual time and the fired counter are identical to
+// going through the heap; Stop() is honoured between entries like it is
+// between Step calls.
+func (ln *delayLine) fire() {
+	s := ln.s
+	ln.event = Event{}
+	s.groupEvts--
+	ran := false
+	ln.dropCanceled()
+	if ln.count > 0 {
+		i := ln.ring[ln.head]
+		sl := &s.slots[i]
+		if sl.seq == ln.evSeq {
+			ran = true
+			fn := sl.fn
+			ln.pop()
+			s.freeSlot(i)
+			s.members--
+			fn()
+			for !s.stopped {
+				ln.dropCanceled()
+				if ln.count == 0 {
+					break
+				}
+				i := ln.ring[ln.head]
+				sl := &s.slots[i]
+				if sl.at != s.now {
+					break
+				}
+				if at, seq, ok := s.peekMin(); ok && (at < sl.at || (at == sl.at && seq < sl.seq)) {
+					break
+				}
+				fn := sl.fn
+				ln.pop()
+				s.freeSlot(i)
+				s.members--
+				s.fired++
+				fn()
+			}
+		}
+	}
+	// A pooled event whose front was cancelled after it went up runs
+	// nothing; Step already counted the fire, so give it back — Fired()
+	// reports executed callbacks, never cancelled ones, exactly as with
+	// dedicated After events.
+	if !ran {
+		s.fired--
+	}
+	ln.sync()
+}
+
+// push appends a slot index at the ring tail, growing as needed.
+func (ln *delayLine) push(i int32) {
+	if ln.count == len(ln.ring) {
+		grown := make([]int32, max(2*len(ln.ring), 16))
+		for k := 0; k < ln.count; k++ {
+			grown[k] = ln.ring[(ln.head+k)%len(ln.ring)]
+		}
+		ln.ring = grown
+		ln.head = 0
+	}
+	ln.ring[(ln.head+ln.count)%len(ln.ring)] = i
+	ln.count++
+}
+
+// pop removes the front entry.
+func (ln *delayLine) pop() {
+	ln.head = (ln.head + 1) % len(ln.ring)
+	ln.count--
+}

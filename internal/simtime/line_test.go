@@ -1,0 +1,191 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// AfterFIFO must be observably identical to After for constant delays:
+// same virtual firing times, same FIFO interleaving against heap events
+// at the same instant.
+func TestAfterFIFOMatchesAfterOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.AfterFIFO(10*time.Millisecond, func() { order = append(order, "line1") })
+	s.After(10*time.Millisecond, func() { order = append(order, "heap1") })
+	s.AfterFIFO(10*time.Millisecond, func() { order = append(order, "line2") })
+	s.After(10*time.Millisecond, func() { order = append(order, "heap2") })
+	s.AfterFIFO(5*time.Millisecond, func() { order = append(order, "early") })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"early", "line1", "heap1", "line2", "heap2"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// Cancelling line entries — front, middle, and after the pooled event is
+// already up — must suppress exactly those callbacks.
+func TestAfterFIFOCancel(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	evs := make([]Event, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		evs[i] = s.AfterFIFO(10*time.Millisecond, func() { fired = append(fired, i) })
+	}
+	if !evs[0].Cancel() { // front, pooled event already scheduled for it
+		t.Fatal("front cancel reported not pending")
+	}
+	if !evs[2].Cancel() { // middle, collected lazily
+		t.Fatal("middle cancel reported not pending")
+	}
+	if evs[2].Cancel() {
+		t.Fatal("double cancel reported pending")
+	}
+	if evs[2].Pending() {
+		t.Fatal("cancelled entry still pending")
+	}
+	if !evs[3].Pending() {
+		t.Fatal("live entry not pending")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// A same-instant burst through one line must fire in FIFO order and run
+// to completion even when callbacks keep appending to the line.
+func TestAfterFIFOSameInstantBurst(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	s.At(time.Millisecond, func() {
+		for i := 0; i < 100; i++ {
+			i := i
+			s.AfterFIFO(0, func() {
+				fired = append(fired, i)
+				if i == 0 { // chain another same-instant entry mid-batch
+					s.AfterFIFO(0, func() { fired = append(fired, 100) })
+				}
+			})
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 101 {
+		t.Fatalf("fired %d callbacks, want 101", len(fired))
+	}
+	for i := 0; i < 100; i++ {
+		if fired[i] != i {
+			t.Fatalf("burst out of order at %d: %v", i, fired[:i+1])
+		}
+	}
+	if fired[100] != 100 {
+		t.Fatalf("chained entry fired out of order: %v", fired[95:])
+	}
+}
+
+// Stop() from inside a batched callback must halt the batch like it
+// halts a Run loop: later same-instant entries stay queued.
+func TestAfterFIFOStopInsideBatch(t *testing.T) {
+	s := NewScheduler()
+	var fired int
+	s.At(time.Millisecond, func() {
+		for i := 0; i < 10; i++ {
+			s.AfterFIFO(0, func() {
+				fired++
+				if fired == 3 {
+					s.Stop()
+				}
+			})
+		}
+	})
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("Run returned %v, want ErrStopped", err)
+	}
+	if fired != 3 {
+		t.Fatalf("batch ran %d callbacks past Stop, want 3", fired)
+	}
+	if s.Len() != 7 {
+		t.Fatalf("Len=%d after Stop, want 7 queued entries", s.Len())
+	}
+}
+
+// Line scheduling must stay allocation-free in steady state and keep the
+// heap at one entry per line.
+func TestAfterFIFOAllocFreeAndFlatHeap(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		s.AfterFIFO(time.Millisecond, fn)
+		s.AfterFIFO(5*time.Millisecond, fn)
+	}
+	if q := s.Queued(); q > 2 {
+		t.Fatalf("two lines occupy %d heap entries, want <= 2", q)
+	}
+	for s.Step() {
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		s.AfterFIFO(time.Millisecond, fn)
+		for s.Step() {
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("line schedule/fire cycle allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// Negative delays clamp to zero, like After.
+func TestAfterFIFONegativeDelayClamps(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.AfterFIFO(-time.Second, func() { fired = true })
+	if err := s.RunUntil(0); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !fired {
+		t.Fatal("negative-delay entry never fired")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock moved to %v", s.Now())
+	}
+}
+
+// A cancelled front entry's no-op pooled fire must not count as an
+// executed event — Fired() semantics match dedicated After events.
+func TestAfterFIFOCancelledFrontNotCountedFired(t *testing.T) {
+	s := NewScheduler()
+	s.AfterFIFO(time.Millisecond, func() {}).Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := s.Fired(); got != 0 {
+		t.Fatalf("Fired=%d after running only a cancelled entry, want 0", got)
+	}
+	// And a mixed line still counts exactly the executed callbacks.
+	s.AfterFIFO(time.Millisecond, func() {})
+	s.AfterFIFO(time.Millisecond, func() {}).Cancel()
+	s.AfterFIFO(time.Millisecond, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := s.Fired(); got != 2 {
+		t.Fatalf("Fired=%d, want 2 executed callbacks", got)
+	}
+}

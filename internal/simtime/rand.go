@@ -9,24 +9,40 @@ import (
 // Rand wraps a seeded deterministic source with the distributions the
 // simulator needs. All stochastic behaviour in a scenario must flow from a
 // single Rand so that runs are reproducible from the seed alone.
+//
+// The underlying source is seeded lazily, on the first draw: seeding a
+// math/rand source walks a 607-word state array, and population-scale
+// scenarios fork thousands of streams whose owners may never draw (a
+// voice-only MN forks a traffic stream only its absent video/data
+// generators would use). The draw sequence for a given seed is
+// unchanged — laziness moves the seeding cost, it cannot move a value.
 type Rand struct {
-	src *rand.Rand
+	src  *rand.Rand
+	seed int64
 }
 
 // NewRand returns a deterministic generator for the given seed.
 func NewRand(seed int64) *Rand {
-	return &Rand{src: rand.New(rand.NewSource(seed))}
+	return &Rand{seed: seed}
+}
+
+// source seeds on first use.
+func (r *Rand) source() *rand.Rand {
+	if r.src == nil {
+		r.src = rand.New(rand.NewSource(r.seed))
+	}
+	return r.src
 }
 
 // Float64 returns a uniform value in [0, 1).
-func (r *Rand) Float64() float64 { return r.src.Float64() }
+func (r *Rand) Float64() float64 { return r.source().Float64() }
 
 // Intn returns a uniform int in [0, n). n must be positive.
-func (r *Rand) Intn(n int) int { return r.src.Intn(n) }
+func (r *Rand) Intn(n int) int { return r.source().Intn(n) }
 
 // Uniform returns a uniform value in [lo, hi).
 func (r *Rand) Uniform(lo, hi float64) float64 {
-	return lo + (hi-lo)*r.src.Float64()
+	return lo + (hi-lo)*r.source().Float64()
 }
 
 // UniformDuration returns a uniform duration in [lo, hi).
@@ -34,26 +50,26 @@ func (r *Rand) UniformDuration(lo, hi time.Duration) time.Duration {
 	if hi <= lo {
 		return lo
 	}
-	return lo + time.Duration(r.src.Int63n(int64(hi-lo)))
+	return lo + time.Duration(r.source().Int63n(int64(hi-lo)))
 }
 
 // Exponential returns an exponentially distributed value with the given
 // mean. It is the inter-arrival law for Poisson processes (session
 // arrivals, data packet gaps).
 func (r *Rand) Exponential(mean float64) float64 {
-	return r.src.ExpFloat64() * mean
+	return r.source().ExpFloat64() * mean
 }
 
 // ExponentialDuration returns an exponentially distributed duration with
 // the given mean.
 func (r *Rand) ExponentialDuration(mean time.Duration) time.Duration {
-	return time.Duration(r.src.ExpFloat64() * float64(mean))
+	return time.Duration(r.source().ExpFloat64() * float64(mean))
 }
 
 // Normal returns a normally distributed value with the given mean and
 // standard deviation.
 func (r *Rand) Normal(mean, stddev float64) float64 {
-	return mean + stddev*r.src.NormFloat64()
+	return mean + stddev*r.source().NormFloat64()
 }
 
 // LogNormal returns a log-normally distributed value parameterised by the
@@ -71,15 +87,15 @@ func (r *Rand) Bool(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return r.src.Float64() < p
+	return r.source().Float64() < p
 }
 
 // Perm returns a random permutation of [0, n).
-func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+func (r *Rand) Perm(n int) []int { return r.source().Perm(n) }
 
 // Fork derives an independent generator from this one. Subsystems that
 // consume randomness at data-dependent rates (e.g. per-link loss) use forks
 // so that changing one subsystem's draw count does not perturb another's.
 func (r *Rand) Fork() *Rand {
-	return NewRand(r.src.Int63())
+	return NewRand(r.source().Int63())
 }

@@ -34,17 +34,23 @@ type Event struct {
 	gen uint32 // slot generation at scheduling time
 }
 
-// slot is one arena entry. A slot is live while queued in the heap; firing
-// or cancellation returns it to the free list and bumps gen, invalidating
-// outstanding handles.
+// slot is one arena entry. A slot is live while queued in the heap or in
+// a delay line; firing or cancellation returns it to the free list and
+// bumps gen, invalidating outstanding handles.
 type slot struct {
 	at       time.Duration
 	seq      uint64
 	fn       func()
 	gen      uint32
-	pos      int32 // heap position, -1 when not queued
+	pos      int32 // heap position; posFree when dead, posInLine when in a delay line
 	canceled bool
 }
+
+// Sentinel slot positions outside the heap index range.
+const (
+	posFree   int32 = -1 // fired, cancelled-and-collected, or never queued
+	posInLine int32 = -2 // queued in a delay line's FIFO ring
+)
 
 // At reports the virtual time the event is scheduled for, or zero when the
 // event already fired or was cancelled.
@@ -65,6 +71,12 @@ func (e Event) Cancel() bool {
 	}
 	sl.canceled = true
 	sl.fn = nil
+	if sl.pos == posInLine {
+		// Line entries are collected lazily when they reach the ring
+		// front; they never pollute the heap, so no purge pressure.
+		e.s.members--
+		return true
+	}
 	e.s.canceled++
 	e.s.maybePurge()
 	return true
@@ -83,7 +95,7 @@ func (e Event) slot() *slot {
 		return nil
 	}
 	sl := &e.s.slots[e.idx-1]
-	if sl.gen != e.gen || sl.pos < 0 {
+	if sl.gen != e.gen || sl.pos == posFree {
 		return nil
 	}
 	return sl
@@ -104,6 +116,19 @@ type Scheduler struct {
 	// report live events and maybePurge knows when lazy removal is no
 	// longer cheap.
 	canceled int
+	// groups holds the per-interval tick groups (see ticker.go) and lines
+	// the per-delay FIFO lines (see line.go): every Ticker of one interval
+	// and every AfterFIFO one-shot of one delay share a single scheduler
+	// event, so the heap stays O(distinct intervals + distinct delays) no
+	// matter how many tickers tick or packets fly.
+	groups map[time.Duration]*tickGroup
+	lines  map[time.Duration]*delayLine
+	// members counts armed group tickers plus live delay-line entries;
+	// groupEvts counts the pooled events currently occupying the heap.
+	// Together they let Len keep reporting one live event per logical
+	// pending callback, exactly as when each owned its own heap entry.
+	members   int
+	groupEvts int
 }
 
 // NewScheduler returns a scheduler with virtual time zero.
@@ -113,11 +138,15 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 func (s *Scheduler) Now() time.Duration { return s.now }
 
 // Len returns the number of live pending events. Cancelled events that
-// have not yet been discarded by the run loop are not counted.
-func (s *Scheduler) Len() int { return len(s.heap) - s.canceled }
+// have not yet been discarded by the run loop are not counted; an armed
+// group ticker counts as one live event (its group's single heap entry is
+// bookkeeping, not a logical event, and is excluded).
+func (s *Scheduler) Len() int { return len(s.heap) - s.canceled - s.groupEvts + s.members }
 
-// Queued returns the raw queue occupancy, including cancelled events that
-// lazy removal has not collected yet. Len <= Queued always holds.
+// Queued returns the raw queue occupancy: pending heap entries, including
+// cancelled events that lazy removal has not collected yet, but not group
+// ticker members (each group contributes at most one heap entry, which is
+// what keeps Queued O(distinct intervals) under thousands of tickers).
 func (s *Scheduler) Queued() int { return len(s.heap) }
 
 // Fired returns the total number of events executed so far.
@@ -127,25 +156,47 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // clamps to the current time (the event fires next, after already-queued
 // events for the same instant).
 func (s *Scheduler) At(t time.Duration, fn func()) Event {
+	return s.atSeq(t, s.takeSeq(), fn)
+}
+
+// takeSeq draws the next sequence number. Tick groups draw a seq per
+// member arming — exactly where a dedicated event would have drawn one —
+// so the counter (and every FIFO tie-break downstream of it) evolves
+// byte-identically whether tickers are pooled or not.
+func (s *Scheduler) takeSeq() uint64 {
+	q := s.seq
+	s.seq++
+	return q
+}
+
+// atSeq schedules fn under a caller-supplied sequence number. Group and
+// line events reuse their front member's seq, which places the pooled
+// event in exactly the heap position the member's dedicated event would
+// have had.
+func (s *Scheduler) atSeq(t time.Duration, seq uint64, fn func()) Event {
 	if t < s.now {
 		t = s.now
 	}
-	var i int32
-	if n := len(s.free); n > 0 {
-		i = s.free[n-1]
-		s.free = s.free[:n-1]
-	} else {
-		s.slots = append(s.slots, slot{})
-		i = int32(len(s.slots) - 1)
-	}
+	i := s.allocSlot()
 	sl := &s.slots[i]
 	sl.at = t
-	sl.seq = s.seq
+	sl.seq = seq
 	sl.fn = fn
 	sl.canceled = false
-	s.seq++
 	s.push(i)
 	return Event{s: s, idx: i + 1, gen: sl.gen}
+}
+
+// allocSlot takes a slot from the free list (or grows the arena). The
+// caller fills it and either heap-pushes it or threads it into a line.
+func (s *Scheduler) allocSlot() int32 {
+	if n := len(s.free); n > 0 {
+		i := s.free[n-1]
+		s.free = s.free[:n-1]
+		return i
+	}
+	s.slots = append(s.slots, slot{})
+	return int32(len(s.slots) - 1)
 }
 
 // After schedules fn to run d after the current virtual time. Negative d
@@ -216,6 +267,15 @@ func (s *Scheduler) RunUntil(deadline time.Duration) error {
 // peekAt returns the timestamp of the earliest live event, discarding
 // cancelled heap heads along the way.
 func (s *Scheduler) peekAt() (time.Duration, bool) {
+	at, _, ok := s.peekMin()
+	return at, ok
+}
+
+// peekMin returns the (at, seq) coordinates of the earliest live heap
+// event, discarding cancelled heads along the way. Delay lines use it to
+// decide whether their next front entry is globally next (see
+// delayLine.fire's same-instant batch).
+func (s *Scheduler) peekMin() (time.Duration, uint64, bool) {
 	for len(s.heap) > 0 {
 		i := s.heap[0]
 		sl := &s.slots[i]
@@ -225,9 +285,9 @@ func (s *Scheduler) peekAt() (time.Duration, bool) {
 			s.freeSlot(i)
 			continue
 		}
-		return sl.at, true
+		return sl.at, sl.seq, true
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // freeSlot returns a slot to the free list. The generation bump invalidates
@@ -236,7 +296,7 @@ func (s *Scheduler) freeSlot(i int32) {
 	sl := &s.slots[i]
 	sl.fn = nil
 	sl.gen++
-	sl.pos = -1
+	sl.pos = posFree
 	s.free = append(s.free, i)
 }
 

@@ -165,16 +165,19 @@ type Topology struct {
 	grid    gridIndex
 }
 
-// gridIndex is a uniform spatial hash over cell coverage discs: every cell
-// is inserted into each grid bucket its bounding square [Pos±MaxRange]
-// overlaps, so the single bucket containing a query point holds a superset
-// of the cells whose nominal range can reach that point. Lookups are O(1)
-// plus the (local) bucket length instead of O(all cells).
+// gridIndex is a uniform spatial hash over cell coverage discs: every
+// grid bucket memoizes, at Build time, exactly the cells whose coverage
+// disc overlaps the bucket's rectangle, so the single bucket containing a
+// query point holds a tight superset of the cells whose nominal range can
+// reach that point. Lookups are O(1) plus the (local) bucket length
+// instead of O(all cells), and the per-bucket candidate lists are
+// computed once — 10k MNs sharing a bucket re-read one cached slice per
+// tick instead of re-deriving overlap sets.
 //
 // Bucket side is max(100 m, largestRange/16): fine enough that a bucket
 // holds only the local neighbourhood of small cells, coarse enough that
-// even the largest (root) disc inserts into a bounded ~33x33 block of
-// buckets at build time.
+// even the largest (root) disc touches a bounded ~33x33 block of buckets
+// at build time.
 type gridIndex struct {
 	cell       float64
 	minX, minY float64
@@ -183,7 +186,13 @@ type gridIndex struct {
 }
 
 // buildGrid indexes every cell. Called once at Build time, after the
-// arena is known.
+// arena is known; Nearby stays a pure reader of the memoized lists.
+//
+// Insertion runs in two passes: the bounding square [Pos±MaxRange] picks
+// the candidate bucket block, then the exact disc-rectangle overlap test
+// prunes the block's corners (for a large disc, ~21% of its bounding
+// square lies outside the disc — corner buckets would carry cells no
+// point inside them can ever reach).
 func (t *Topology) buildGrid() {
 	maxR := 0.0
 	for _, c := range t.Cells {
@@ -203,15 +212,36 @@ func (t *Topology) buildGrid() {
 	g.buckets = make([][]CellID, g.cols*g.rows)
 	for _, c := range t.Cells { // ascending ID ⇒ buckets stay sorted
 		r := c.Radio.MaxRange
-		x0, y0 := g.clampCol(c.Pos.X-r), g.clampRow(c.Pos.Y-r)
-		x1, y1 := g.clampCol(c.Pos.X+r), g.clampRow(c.Pos.Y+r)
+		// One extra bucket per side: a bucket rectangle can touch the
+		// disc at exactly distance r while its index sits just outside
+		// the bounding square (cells land on exact bucket boundaries).
+		// The overlap test prunes the false candidates.
+		x0, y0 := g.clampCol(c.Pos.X-r-g.cell), g.clampRow(c.Pos.Y-r-g.cell)
+		x1, y1 := g.clampCol(c.Pos.X+r+g.cell), g.clampRow(c.Pos.Y+r+g.cell)
 		for y := y0; y <= y1; y++ {
 			for x := x0; x <= x1; x++ {
+				if !g.discOverlapsBucket(c.Pos, r, x, y) {
+					continue
+				}
 				i := y*g.cols + x
 				g.buckets[i] = append(g.buckets[i], c.ID)
 			}
 		}
 	}
+}
+
+// discOverlapsBucket reports whether a coverage disc centred at p with
+// radius r reaches any point of bucket (x, y): the distance from p to the
+// nearest point of the bucket rectangle is at most r. This is the exact
+// membership rule the per-bucket candidate cache is built from (and the
+// rule tests recompute to validate the cache).
+func (g *gridIndex) discOverlapsBucket(p geo.Point, r float64, x, y int) bool {
+	x0 := g.minX + float64(x)*g.cell
+	y0 := g.minY + float64(y)*g.cell
+	nx := math.Max(x0, math.Min(p.X, x0+g.cell))
+	ny := math.Max(y0, math.Min(p.Y, y0+g.cell))
+	dx, dy := p.X-nx, p.Y-ny
+	return dx*dx+dy*dy <= r*r
 }
 
 func (g *gridIndex) clampCol(x float64) int {
@@ -237,12 +267,15 @@ func (g *gridIndex) clampRow(y float64) int {
 }
 
 // Nearby returns the ids of every cell whose nominal coverage could reach
-// p: a superset of the in-range set, in ascending id order. Points outside
+// p: a superset of the in-range set (exactly the cells whose coverage
+// disc overlaps p's grid bucket), in ascending id order. Points outside
 // the arena (which bounds every coverage disc) return nil. The returned
-// slice aliases the index — callers must not mutate or retain it.
+// slice aliases the memoized per-bucket candidate cache — callers must
+// not mutate or retain it.
 func (t *Topology) Nearby(p geo.Point) []CellID {
-	// The grid is built once in Build; Nearby stays a pure reader so a
-	// Topology can safely be shared across goroutines after Build.
+	// The candidate lists are built once in Build; Nearby stays a pure
+	// reader so a Topology can safely be shared across goroutines after
+	// Build — including the parallel measurement workers.
 	if p.X < t.Arena.Min.X || p.X > t.Arena.Max.X || p.Y < t.Arena.Min.Y || p.Y > t.Arena.Max.Y {
 		return nil
 	}

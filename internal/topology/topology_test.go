@@ -553,3 +553,86 @@ func TestTierStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestNearbyCacheMatchesUncached recomputes every bucket's candidate list
+// from first principles — all cells whose coverage disc overlaps the
+// bucket rectangle — and requires the Build-time cache to match exactly,
+// bucket by bucket, on the default layout and on multi-root dimensioned
+// grids. A cache that over-prunes loses handoffs; one that under-prunes
+// silently re-inflates every measurement tick.
+func TestNearbyCacheMatchesUncached(t *testing.T) {
+	cases := []Config{
+		DefaultConfig(),
+		{Roots: 1, MacrosPerRoot: 1, MicrosPerMacro: 2, PicosPerMicro: 1,
+			BasePrefix: addr.MustParsePrefix("10.0.0.0/8")},
+		{Roots: 6, RootCols: 3, MacrosPerRoot: 2, MicrosPerMacro: 4, ChainMicros: true,
+			PicosPerMicro: 1, BasePrefix: addr.MustParsePrefix("10.0.0.0/8")},
+		{Roots: 9, RootCols: 3, MacrosPerRoot: 3, MicrosPerMacro: 6,
+			BasePrefix: addr.MustParsePrefix("10.0.0.0/8")},
+	}
+	for ci, cfg := range cases {
+		top := build(t, cfg)
+		g := &top.grid
+		for y := 0; y < g.rows; y++ {
+			for x := 0; x < g.cols; x++ {
+				var want []CellID
+				for _, c := range top.Cells { // uncached: brute-force overlap
+					if g.discOverlapsBucket(c.Pos, c.Radio.MaxRange, x, y) {
+						want = append(want, c.ID)
+					}
+				}
+				got := g.buckets[y*g.cols+x]
+				if len(got) != len(want) {
+					t.Fatalf("case %d bucket (%d,%d): cached %v, uncached %v", ci, x, y, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("case %d bucket (%d,%d): cached %v, uncached %v", ci, x, y, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNearbySupersetOnDimensionedGrid extends the in-range superset
+// property to a large multi-root grid: every cell whose nominal range
+// reaches a random in-arena point must appear in that point's cached
+// candidate list.
+func TestNearbySupersetOnDimensionedGrid(t *testing.T) {
+	top := build(t, Config{Roots: 8, RootCols: 3, MacrosPerRoot: 2, MicrosPerMacro: 5,
+		ChainMicros: true, PicosPerMicro: 1, BasePrefix: addr.MustParsePrefix("10.0.0.0/8")})
+	rng := simtime.NewRand(11)
+	for trial := 0; trial < 2000; trial++ {
+		p := geo.Pt(
+			rng.Uniform(top.Arena.Min.X, top.Arena.Max.X),
+			rng.Uniform(top.Arena.Min.Y, top.Arena.Max.Y),
+		)
+		near := top.Nearby(p)
+		set := make(map[CellID]bool, len(near))
+		for _, id := range near {
+			set[id] = true
+		}
+		for _, c := range top.Cells {
+			if c.Pos.DistanceTo(p) <= c.Radio.MaxRange && !set[c.ID] {
+				t.Fatalf("cell %s in range of %v but missing from Nearby", c.Name, p)
+			}
+		}
+	}
+}
+
+// TestNearbyCachedPathAllocFree pins the zero-allocation budget of the
+// cached candidate path: a Nearby lookup is an index into the memoized
+// per-bucket lists, nothing more.
+func TestNearbyCachedPathAllocFree(t *testing.T) {
+	top := build(t, DefaultConfig())
+	pos := top.Cells[2].Pos
+	avg := testing.AllocsPerRun(1000, func() {
+		if top.Nearby(pos) == nil {
+			t.Fatal("in-arena point returned no candidates")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("cached Nearby allocates %.1f allocs/op, want 0", avg)
+	}
+}

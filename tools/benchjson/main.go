@@ -4,14 +4,23 @@
 // benchmarks through it to produce BENCH_<n>.json snapshots, so the
 // repository tracks the performance trajectory PR over PR.
 //
+// With -compare it becomes the CI benchmark-regression gate: instead of
+// emitting JSON it compares the fresh run on stdin against a committed
+// BENCH_*.json baseline and exits non-zero when any gated benchmark's
+// ns/op regressed beyond -limit (or its allocs/op regressed at all
+// beyond the same fraction).
+//
 // Usage:
 //
 //	go test -bench 'E[0-9]' -benchtime 1x -benchmem -run '^$' . | go run ./tools/benchjson > BENCH_2.json
+//	go test -bench 'E6|E9|E10' -benchtime 3x -benchmem -run '^$' . | \
+//	    go run ./tools/benchjson -compare BENCH_5.json -limit 0.15 -only BenchmarkE6,BenchmarkE9,BenchmarkE10
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -38,10 +47,28 @@ type Report struct {
 }
 
 func main() {
+	var (
+		baseline = flag.String("compare", "", "compare stdin's bench output against this BENCH_*.json baseline instead of emitting JSON; exit 1 on regression")
+		limit    = flag.Float64("limit", 0.15, "with -compare, the maximum tolerated fractional regression (0.15 = +15%)")
+		only     = flag.String("only", "BenchmarkE6,BenchmarkE9,BenchmarkE10", "with -compare, comma-separated benchmark name prefixes to gate")
+	)
+	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		failures, err := compare(*baseline, rep, *limit, strings.Split(*only, ","), os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n", failures, 100**limit)
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -49,6 +76,112 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// gated reports whether a benchmark name falls under the gate: it starts
+// with one of the configured prefixes (ignoring empty entries).
+func gated(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		p = strings.TrimSpace(p)
+		if p != "" && strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// compare checks the fresh report against the baseline file and returns
+// the number of gated regressions. ns/op may grow by at most limit;
+// allocs/op is held to the same fraction (alloc counts are stable, so
+// any real growth there is a code change, not noise). Gated benchmarks
+// present in the baseline but missing from the fresh run fail too —
+// a silently dropped benchmark must not pass the gate. Fresh benchmarks
+// without a baseline entry are reported and skipped.
+//
+// Absolute ns/op is only meaningful on the hardware that recorded the
+// baseline: when the CPU strings differ, ns/op comparisons are reported
+// but downgraded to advisory, and only the machine-independent allocs/op
+// check can fail the gate.
+func compare(baselinePath string, fresh Report, limit float64, prefixes []string, w io.Writer) (int, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0, fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	// Unknown machine identity (either CPU string empty) is treated like
+	// a mismatch: strict ns/op gating is only honest when the run
+	// provably happened on the hardware that recorded the baseline.
+	nsAdvisory := base.CPU == "" || fresh.CPU == "" || base.CPU != fresh.CPU
+	if nsAdvisory {
+		fmt.Fprintf(w, "benchjson: baseline CPU %q vs current %q — ns/op comparisons are advisory, only allocs/op can fail the gate\n",
+			base.CPU, fresh.CPU)
+	}
+	// The gate runs benchmarks with -count > 1 and keeps each name's
+	// fastest observation: the minimum is the least-noise estimate of a
+	// benchmark's true cost, so a loaded CI machine doesn't flag phantom
+	// regressions (real regressions slow every repetition).
+	freshBy := make(map[string]Result, len(fresh.Results))
+	for _, r := range fresh.Results {
+		best, ok := freshBy[r.Name]
+		if !ok || r.NsPerOp < best.NsPerOp {
+			if ok && best.AllocsPerOp < r.AllocsPerOp {
+				r.AllocsPerOp = best.AllocsPerOp
+			}
+			freshBy[r.Name] = r
+		} else if r.AllocsPerOp < best.AllocsPerOp {
+			best.AllocsPerOp = r.AllocsPerOp
+			freshBy[r.Name] = best
+		}
+	}
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	failures := 0
+	for _, b := range base.Results {
+		if !gated(b.Name, prefixes) {
+			continue
+		}
+		f, ok := freshBy[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %s: gated benchmark missing from this run\n", b.Name)
+			failures++
+			continue
+		}
+		nsRatio := f.NsPerOp/b.NsPerOp - 1
+		status := "ok"
+		fail := false
+		if nsRatio > limit && !nsAdvisory {
+			status = "FAIL"
+			fail = true
+		}
+		allocNote := ""
+		if b.AllocsPerOp > 0 {
+			allocRatio := f.AllocsPerOp/b.AllocsPerOp - 1
+			allocNote = fmt.Sprintf(", allocs %+.1f%%", 100*allocRatio)
+			if allocRatio > limit {
+				status = "FAIL"
+				fail = true
+			}
+		}
+		fmt.Fprintf(w, "%-4s %s: ns/op %.0f -> %.0f (%+.1f%%)%s\n",
+			status, b.Name, b.NsPerOp, f.NsPerOp, 100*nsRatio, allocNote)
+		if fail {
+			failures++
+		}
+	}
+	for _, f := range fresh.Results {
+		if !gated(f.Name, prefixes) {
+			continue
+		}
+		if _, ok := baseBy[f.Name]; !ok {
+			fmt.Fprintf(w, "new  %s: no baseline entry, skipped\n", f.Name)
+		}
+	}
+	return failures, nil
 }
 
 // parse reads `go test -bench` output and returns the report with its

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -105,5 +108,170 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("parseLine accepted %q", line)
 		}
+	}
+}
+
+// writeBaseline marshals a baseline report to a temp file for compare().
+func writeBaseline(t *testing.T, rep Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGateDetectsRegression(t *testing.T) {
+	base := Report{CPU: "test-box", Results: []Result{
+		{Name: "BenchmarkE6SchemeComparison", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkE9ScaleSweep", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkOther", NsPerOp: 1000},
+	}}
+	path := writeBaseline(t, base)
+	gates := []string{"BenchmarkE6", "BenchmarkE9", "BenchmarkE10"}
+
+	// Within the limit (+10% ns/op) and an ungated benchmark regressing
+	// wildly: no failures.
+	fresh := Report{CPU: "test-box", Results: []Result{
+		{Name: "BenchmarkE6SchemeComparison", NsPerOp: 1100, AllocsPerOp: 100},
+		{Name: "BenchmarkE9ScaleSweep", NsPerOp: 900, AllocsPerOp: 100},
+		{Name: "BenchmarkOther", NsPerOp: 9000},
+	}}
+	var out strings.Builder
+	n, err := compare(path, fresh, 0.15, gates, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("within-limit run failed gate (%d failures):\n%s", n, out.String())
+	}
+
+	// ns/op past the limit on one gated benchmark: exactly one failure.
+	fresh.Results[0].NsPerOp = 1200
+	out.Reset()
+	if n, err = compare(path, fresh, 0.15, gates, &out); err != nil || n != 1 {
+		t.Fatalf("ns/op regression: failures=%d err=%v\n%s", n, err, out.String())
+	}
+
+	// allocs/op regression alone also fails.
+	fresh.Results[0].NsPerOp = 1000
+	fresh.Results[0].AllocsPerOp = 200
+	out.Reset()
+	if n, err = compare(path, fresh, 0.15, gates, &out); err != nil || n != 1 {
+		t.Fatalf("allocs regression: failures=%d err=%v\n%s", n, err, out.String())
+	}
+}
+
+func TestCompareGateFailsOnMissingBenchmark(t *testing.T) {
+	base := Report{Results: []Result{{Name: "BenchmarkE9ScaleSweep", NsPerOp: 1000}}}
+	path := writeBaseline(t, base)
+	var out strings.Builder
+	n, err := compare(path, Report{}, 0.15, []string{"BenchmarkE9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("missing gated benchmark passed the gate:\n%s", out.String())
+	}
+}
+
+func TestCompareGateSkipsNewBenchmarks(t *testing.T) {
+	path := writeBaseline(t, Report{Results: []Result{{Name: "BenchmarkE9ScaleSweep", NsPerOp: 1000}}})
+	fresh := Report{Results: []Result{
+		{Name: "BenchmarkE9ScaleSweep", NsPerOp: 1000},
+		{Name: "BenchmarkE9Scale10k", NsPerOp: 123456},
+	}}
+	var out strings.Builder
+	n, err := compare(path, fresh, 0.15, []string{"BenchmarkE9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("new benchmark without baseline failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkE9Scale10k") {
+		t.Fatalf("new benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareGateRejectsBadBaseline(t *testing.T) {
+	if _, err := compare(filepath.Join(t.TempDir(), "missing.json"), Report{}, 0.15, nil, io.Discard); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compare(path, Report{}, 0.15, nil, io.Discard); err == nil {
+		t.Fatal("garbage baseline accepted")
+	}
+}
+
+// TestCompareGateMinMergesRepetitions pins the -count de-noising: a
+// benchmark measured several times is judged by its fastest repetition
+// (and smallest alloc count), so one noisy repetition cannot flag a
+// phantom regression.
+func TestCompareGateMinMergesRepetitions(t *testing.T) {
+	path := writeBaseline(t, Report{CPU: "test-box", Results: []Result{
+		{Name: "BenchmarkE9ScaleSweep", NsPerOp: 1000, AllocsPerOp: 100},
+	}})
+	fresh := Report{CPU: "test-box", Results: []Result{
+		{Name: "BenchmarkE9ScaleSweep", NsPerOp: 1600, AllocsPerOp: 100}, // noisy rep
+		{Name: "BenchmarkE9ScaleSweep", NsPerOp: 1050, AllocsPerOp: 101},
+	}}
+	var out strings.Builder
+	n, err := compare(path, fresh, 0.15, []string{"BenchmarkE9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("min-merge failed to de-noise repetitions:\n%s", out.String())
+	}
+	// Every repetition slow: a real regression still fails.
+	fresh.Results[1].NsPerOp = 1600
+	out.Reset()
+	if n, err = compare(path, fresh, 0.15, []string{"BenchmarkE9"}, &out); err != nil || n != 1 {
+		t.Fatalf("uniform regression passed the gate: failures=%d err=%v\n%s", n, err, out.String())
+	}
+}
+
+// TestCompareGateCPUMismatchMakesNsAdvisory pins the cross-machine rule:
+// on foreign hardware ns/op cannot fail the gate (absolute times mean
+// nothing there), while the machine-independent allocs/op check still
+// can.
+func TestCompareGateCPUMismatchMakesNsAdvisory(t *testing.T) {
+	path := writeBaseline(t, Report{CPU: "recording-box", Results: []Result{
+		{Name: "BenchmarkE9ScaleSweep", NsPerOp: 1000, AllocsPerOp: 100},
+	}})
+	fresh := Report{CPU: "other-box", Results: []Result{
+		{Name: "BenchmarkE9ScaleSweep", NsPerOp: 5000, AllocsPerOp: 100},
+	}}
+	var out strings.Builder
+	n, err := compare(path, fresh, 0.15, []string{"BenchmarkE9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("ns/op failed the gate on mismatched hardware:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "advisory") {
+		t.Fatalf("mismatch not reported:\n%s", out.String())
+	}
+	fresh.Results[0].AllocsPerOp = 200
+	out.Reset()
+	if n, err = compare(path, fresh, 0.15, []string{"BenchmarkE9"}, &out); err != nil || n != 1 {
+		t.Fatalf("allocs regression must still fail cross-machine: failures=%d err=%v\n%s", n, err, out.String())
+	}
+	// Unknown identity (missing cpu: line) is treated like a mismatch.
+	fresh = Report{Results: []Result{
+		{Name: "BenchmarkE9ScaleSweep", NsPerOp: 5000, AllocsPerOp: 100},
+	}}
+	out.Reset()
+	if n, err = compare(path, fresh, 0.15, []string{"BenchmarkE9"}, &out); err != nil || n != 0 {
+		t.Fatalf("ns/op failed the gate with unknown CPU identity: failures=%d err=%v\n%s", n, err, out.String())
 	}
 }
