@@ -22,7 +22,7 @@ GATE_ONLY ?= BenchmarkE6,BenchmarkE9,BenchmarkE10
 GATE_BENCH = $(shell echo '$(GATE_ONLY)' | sed 's/Benchmark//g; s/,/|/g')
 GATE_LIMIT ?= 0.15
 
-.PHONY: verify build test check vet race bench bench-smoke bench-save bench-json bench-compare bench-gate
+.PHONY: verify build test check vet lint race race-goldens bench bench-smoke bench-save bench-json bench-compare bench-gate
 
 verify: build test
 
@@ -35,10 +35,30 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint: the domain linter (tools/mmlint) over the whole module — packet
+# ownership, determinism discipline, noalloc annotations, simtime
+# fencing. The binary is cached under bin/ and rebuilt only when the
+# linter's sources change; findings exit non-zero. It also runs as a
+# vettool: go vet -vettool=$(PWD)/bin/mmlint ./...
+MMLINT_SRCS := $(shell find tools/mmlint -name '*.go' -not -path '*/testdata/*')
+
+bin/mmlint: $(MMLINT_SRCS)
+	@mkdir -p bin
+	$(GO) build -o $@ ./tools/mmlint
+
+lint: bin/mmlint
+	./bin/mmlint ./...
+
 race:
 	$(GO) test -race ./...
 
-check: vet race bench-smoke bench-gate
+# race-goldens: the E9/E10 golden suites with the parallel measurement
+# phase (MeasureWorkers=4 pinned in the tests) under the race detector —
+# byte-identity and data-race freedom of the fan-out in one run.
+race-goldens:
+	$(GO) test -race ./internal/experiments -run 'ParallelMeasurement' -count=1
+
+check: vet lint race bench-smoke bench-gate
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

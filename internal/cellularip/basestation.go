@@ -349,6 +349,8 @@ func (bs *BaseStation) sendMapping(pkt *packet.Packet, m Mapping) {
 // pageFlood broadcasts a packet for an unknown host down every child link
 // and the local air interface — the Cellular IP paging procedure when no
 // cache entry constrains the search.
+//
+//mmlint:packetflow-ok delivered/sentAir flags correlate with consumption across branches: the original is dropped when nothing went out and released unless the air delivery consumed it
 func (bs *BaseStation) pageFlood(pkt *packet.Packet) {
 	delivered := false
 	sentAir := false

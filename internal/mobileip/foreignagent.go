@@ -1,6 +1,7 @@
 package mobileip
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/addr"
@@ -99,7 +100,15 @@ func (fa *ForeignAgent) StartAdvertising(interval, lifetime time.Duration) {
 			Lifetime: lifetime,
 		}
 		fa.advSeq++
-		for _, v := range fa.visitors {
+		// Beacon order draws the loss rng once per visitor, so it must
+		// not follow map iteration order.
+		homes := make([]addr.IP, 0, len(fa.visitors))
+		for home := range fa.visitors {
+			homes = append(homes, home)
+		}
+		sort.Slice(homes, func(i, j int) bool { return homes[i] < homes[j] })
+		for _, home := range homes {
+			v := fa.visitors[home]
 			pkt := packet.NewControl(fa.node.Addr(), v.home, packet.ProtoMobileIP, adv.Marshal())
 			if fa.stats != nil {
 				fa.stats.Signaling.Inc()

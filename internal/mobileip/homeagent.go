@@ -197,6 +197,7 @@ func (ha *HomeAgent) intercept(pkt *packet.Packet) {
 	}
 	tun, err := packet.Encapsulate(ha.node.Addr(), b.CareOf, pkt)
 	if err != nil {
+		packet.Release(pkt)
 		return
 	}
 	if ha.stats != nil {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/simtime"
@@ -247,7 +248,11 @@ func (mn *MobileNode) SendData(pkt *packet.Packet) {
 		return
 	}
 	haNode := mn.node.Network().NodeByAddr(mn.ha)
-	if haNode != nil {
-		_ = mn.node.Network().DeliverDirect(mn.node, haNode, pkt, mn.cfg.AirDelay, mn.cfg.AirLoss)
+	if haNode == nil {
+		// No serving agent and no home link: account the loss like the
+		// other mobiles do instead of leaking the packet.
+		mn.node.Network().Drop(mn.node, pkt, metrics.DropNoRoute)
+		return
 	}
+	_ = mn.node.Network().DeliverDirect(mn.node, haNode, pkt, mn.cfg.AirDelay, mn.cfg.AirLoss)
 }

@@ -193,6 +193,8 @@ func (m *Mobile) State() HostState { return m.state }
 // measure signals, run the decision engine, and start a handoff when the
 // target differs from the serving cell. The scheme driver calls this on
 // its measurement cadence.
+//
+//mmlint:noalloc
 func (m *Mobile) Evaluate(pos geo.Point, speedMPS float64) {
 	m.sigScratch = m.MeasureInto(m.sigScratch, pos)
 	m.EvaluateSignals(speedMPS, m.sigScratch)

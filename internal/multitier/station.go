@@ -1,6 +1,7 @@
 package multitier
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/addr"
@@ -49,6 +50,7 @@ type Station struct {
 
 	parent      *Station
 	children    map[topology.CellID]*Station
+	childOrder  []*Station // children sorted by cell ID: flood fan-out order must be deterministic
 	childByNode map[netsim.NodeID]*Station
 
 	tables    *CellTables
@@ -136,6 +138,10 @@ func (s *Station) ConnectChild(child *Station, linkCfg netsim.LinkConfig) *netsi
 	l := s.node.Network().Connect(s.node, child.node, linkCfg)
 	child.parent = s
 	s.children[child.cell.ID] = child
+	s.childOrder = append(s.childOrder, child)
+	sort.Slice(s.childOrder, func(i, j int) bool {
+		return s.childOrder[i].cell.ID < s.childOrder[j].cell.ID
+	})
 	s.childByNode[child.node.ID()] = child
 	return l
 }
@@ -744,7 +750,7 @@ func (s *Station) pageFlood(pkt *packet.Packet) {
 		return
 	}
 	sentAny := false
-	for _, child := range s.children {
+	for _, child := range s.childOrder {
 		out := pkt.Clone()
 		// Flood copies are duplicates: receivers dedup them and the
 		// accounting must not count their deaths as primary losses.

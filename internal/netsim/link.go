@@ -102,15 +102,17 @@ func (l *Link) txDelay(size int) time.Duration {
 // serialization, propagation and random loss. The error reports only local
 // conditions (down node/link, queue overflow is not an error — it is an
 // observed drop, as in a real NIC).
+//
+//mmlint:noalloc
 func (nd *Node) Send(l *Link, pkt *packet.Packet) error {
 	if pkt == nil {
 		return ErrNilPacket
 	}
 	if nd.down {
-		return fmt.Errorf("%w: %s", ErrNodeDown, nd)
+		return fmt.Errorf("%w: %s", ErrNodeDown, nd) //mmlint:alloc-ok error path, not steady state
 	}
 	if l.down {
-		return fmt.Errorf("%w: %s", ErrLinkDown, l)
+		return fmt.Errorf("%w: %s", ErrLinkDown, l) //mmlint:alloc-ok error path, not steady state
 	}
 	var dir *direction
 	switch nd {
@@ -119,7 +121,7 @@ func (nd *Node) Send(l *Link, pkt *packet.Packet) error {
 	case l.b:
 		dir = &l.dirs[1]
 	default:
-		return fmt.Errorf("%w: %s on %s", ErrNotOnLink, nd, l)
+		return fmt.Errorf("%w: %s on %s", ErrNotOnLink, nd, l) //mmlint:alloc-ok error path, not steady state
 	}
 	net := nd.net
 	net.observeSend(nd, pkt)
@@ -157,10 +159,12 @@ func (nd *Node) Send(l *Link, pkt *packet.Packet) error {
 }
 
 // SendVia finds the first up link from nd to peer and sends on it.
+//
+//mmlint:noalloc
 func (nd *Node) SendVia(peer *Node, pkt *packet.Packet) error {
 	l := nd.LinkTo(peer)
 	if l == nil {
-		return fmt.Errorf("%w: no up link %s -> %s", ErrLinkDown, nd, peer)
+		return fmt.Errorf("%w: no up link %s -> %s", ErrLinkDown, nd, peer) //mmlint:alloc-ok error path, not steady state
 	}
 	return nd.Send(l, pkt)
 }

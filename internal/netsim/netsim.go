@@ -89,31 +89,39 @@ type flight struct {
 }
 
 // getFlight takes a flight from the free list (or makes one).
+//
+//mmlint:noalloc
 func (n *Network) getFlight() *flight {
 	if k := len(n.flights); k > 0 {
 		f := n.flights[k-1]
 		n.flights = n.flights[:k-1]
 		return f
 	}
-	f := &flight{net: n}
+	f := &flight{net: n} //mmlint:alloc-ok pool miss grows the flight pool; steady state recycles
 	f.fireFn = f.fire
 	f.txFn = f.txDone
 	return f
 }
 
 // putFlight recycles a flight after its arrival event ran.
+//
+//mmlint:noalloc
 func (n *Network) putFlight(f *flight) {
 	f.to, f.from, f.link, f.pkt, f.dir = nil, nil, nil, nil, nil
 	f.lost = false
-	n.flights = append(n.flights, f)
+	n.flights = append(n.flights, f) //mmlint:alloc-ok free-list growth is amortized against recycled capacity
 }
 
 // txDone marks the link direction free at serialization end. It always
 // fires no later than fire (delay >= 0), so the flight is still live.
+//
+//mmlint:noalloc
 func (f *flight) txDone() { f.dir.queued-- }
 
 // fire resolves the arrival: loss or delivery. The loss was decided at
 // send time but is attributed here so traces read causally.
+//
+//mmlint:noalloc
 func (f *flight) fire() {
 	n, to, from, link, pkt, lost := f.net, f.to, f.from, f.link, f.pkt, f.lost
 	n.putFlight(f)
@@ -247,6 +255,7 @@ func (nd *Node) LinkTo(other *Node) *Link {
 	return nil
 }
 
+//mmlint:noalloc
 func (n *Network) observeSend(from *Node, pkt *packet.Packet) {
 	n.Sent++
 	if n.observer != nil {
@@ -254,6 +263,7 @@ func (n *Network) observeSend(from *Node, pkt *packet.Packet) {
 	}
 }
 
+//mmlint:noalloc
 func (n *Network) observeDeliver(at *Node, pkt *packet.Packet) {
 	n.Delivered++
 	if n.observer != nil {
@@ -265,6 +275,8 @@ func (n *Network) observeDeliver(at *Node, pkt *packet.Packet) {
 // encapsulated inner packet) to the free list: a drop is terminal by
 // definition, so every drop site transfers ownership here. Callers must
 // not touch the packet after dropping it.
+//
+//mmlint:noalloc
 func (n *Network) observeDrop(at *Node, pkt *packet.Packet, reason metrics.DropReason) {
 	n.Dropped++
 	if n.observer != nil {
@@ -274,6 +286,8 @@ func (n *Network) observeDrop(at *Node, pkt *packet.Packet, reason metrics.DropR
 }
 
 // deliver hands a packet to a node's handler, honouring failure state.
+//
+//mmlint:noalloc
 func (n *Network) deliver(to *Node, pkt *packet.Packet, from *Node, link *Link) {
 	if to.down {
 		n.observeDrop(to, pkt, metrics.DropBSDown)
@@ -291,6 +305,8 @@ func (n *Network) deliver(to *Node, pkt *packet.Packet, from *Node, link *Link) 
 // failed admission, failed authentication) through the same accounting
 // path as link-level drops, so conservation checks and observers see every
 // packet fate.
+//
+//mmlint:noalloc
 func (n *Network) Drop(at *Node, pkt *packet.Packet, reason metrics.DropReason) {
 	n.observeDrop(at, pkt, reason)
 }
@@ -300,12 +316,18 @@ func (n *Network) Drop(at *Node, pkt *packet.Packet, reason metrics.DropReason) 
 // links are not persistent Link objects because the serving base station
 // changes with mobility; the radio package computes delay and loss from
 // signal conditions and calls this.
+//
+//mmlint:noalloc
 func (n *Network) DeliverDirect(from, to *Node, pkt *packet.Packet, delay time.Duration, loss float64) error {
 	if pkt == nil {
 		return ErrNilPacket
 	}
 	if from.down {
-		return fmt.Errorf("%w: %s", ErrNodeDown, from)
+		// Callers treat air delivery as fire-and-forget, so the packet's
+		// fate is ours: without this the packet never returns to the pool
+		// when its station is down.
+		packet.Release(pkt)
+		return fmt.Errorf("%w: %s", ErrNodeDown, from) //mmlint:alloc-ok error path, not steady state
 	}
 	n.observeSend(from, pkt)
 	f := n.getFlight()

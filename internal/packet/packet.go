@@ -189,6 +189,8 @@ func get(a Allocator) *Packet {
 //     remain valid.
 //   - Releasing nil is a no-op. Releasing twice is a bug; Release panics
 //     so the misuse is caught in tests rather than corrupting a run.
+//
+//mmlint:noalloc
 func Release(p *Packet) {
 	if p == nil {
 		return
@@ -234,6 +236,8 @@ const (
 
 // New returns a data packet with a full TTL. The packet comes from the
 // global free list; hand it back with Release when it leaves the network.
+//
+//mmlint:noalloc
 func New(src, dst addr.IP, class Class, flowID, seq uint32, payload []byte) *Packet {
 	return NewFrom(nil, src, dst, class, flowID, seq, payload)
 }
@@ -241,6 +245,8 @@ func New(src, dst addr.IP, class Class, flowID, seq uint32, payload []byte) *Pac
 // NewFrom is New drawing from the given allocator (nil = the global
 // pool). Traffic generators in arena-backed scale scenarios use it so
 // every data packet cycles through the scenario's own arena.
+//
+//mmlint:noalloc
 func NewFrom(a Allocator, src, dst addr.IP, class Class, flowID, seq uint32, payload []byte) *Packet {
 	p := get(a)
 	p.Src = src
@@ -294,6 +300,8 @@ func (p *Packet) Size() int {
 // shared; WritablePayload copies before mutating). Encapsulated inner
 // packets are cloned recursively. The copy comes from the same allocator
 // as the original.
+//
+//mmlint:noalloc
 func (p *Packet) Clone() *Packet {
 	if p == nil {
 		return nil

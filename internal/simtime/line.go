@@ -16,6 +16,8 @@ import "time"
 // draws its sequence number from the shared scheduler counter at
 // scheduling time, and the line's pooled event runs under the front
 // entry's own (time, seq) coordinates).
+//
+//mmlint:noalloc
 func (s *Scheduler) AfterFIFO(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
@@ -59,6 +61,8 @@ type delayLine struct {
 }
 
 // schedule appends one entry and keeps the pooled event on the front.
+//
+//mmlint:noalloc
 func (ln *delayLine) schedule(fn func()) Event {
 	s := ln.s
 	i := s.allocSlot()
@@ -75,6 +79,8 @@ func (ln *delayLine) schedule(fn func()) Event {
 }
 
 // dropCanceled frees lazily-cancelled entries sitting at the ring front.
+//
+//mmlint:noalloc
 func (ln *delayLine) dropCanceled() {
 	for ln.count > 0 {
 		i := ln.ring[ln.head]
@@ -87,6 +93,8 @@ func (ln *delayLine) dropCanceled() {
 }
 
 // sync makes the pooled scheduler event track the front entry.
+//
+//mmlint:noalloc
 func (ln *delayLine) sync() {
 	ln.dropCanceled()
 	if ln.count == 0 {
@@ -123,6 +131,8 @@ func (ln *delayLine) sync() {
 // operation. Order, virtual time and the fired counter are identical to
 // going through the heap; Stop() is honoured between entries like it is
 // between Step calls.
+//
+//mmlint:noalloc
 func (ln *delayLine) fire() {
 	s := ln.s
 	ln.event = Event{}
@@ -172,9 +182,11 @@ func (ln *delayLine) fire() {
 }
 
 // push appends a slot index at the ring tail, growing as needed.
+//
+//mmlint:noalloc
 func (ln *delayLine) push(i int32) {
 	if ln.count == len(ln.ring) {
-		grown := make([]int32, max(2*len(ln.ring), 16))
+		grown := make([]int32, max(2*len(ln.ring), 16)) //mmlint:alloc-ok ring growth is amortized doubling
 		for k := 0; k < ln.count; k++ {
 			grown[k] = ln.ring[(ln.head+k)%len(ln.ring)]
 		}
@@ -186,6 +198,8 @@ func (ln *delayLine) push(i int32) {
 }
 
 // pop removes the front entry.
+//
+//mmlint:noalloc
 func (ln *delayLine) pop() {
 	ln.head = (ln.head + 1) % len(ln.ring)
 	ln.count--

@@ -64,6 +64,8 @@ func (e Event) At() time.Duration {
 // Cancel prevents the event from firing. Cancelling an event that already
 // fired or was already cancelled is a no-op. Cancel reports whether the
 // event was still pending.
+//
+//mmlint:noalloc
 func (e Event) Cancel() bool {
 	sl := e.slot()
 	if sl == nil || sl.canceled {
@@ -83,6 +85,8 @@ func (e Event) Cancel() bool {
 }
 
 // Pending reports whether the event is still queued and not cancelled.
+//
+//mmlint:noalloc
 func (e Event) Pending() bool {
 	sl := e.slot()
 	return sl != nil && !sl.canceled
@@ -155,6 +159,8 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // clamps to the current time (the event fires next, after already-queued
 // events for the same instant).
+//
+//mmlint:noalloc
 func (s *Scheduler) At(t time.Duration, fn func()) Event {
 	return s.atSeq(t, s.takeSeq(), fn)
 }
@@ -163,6 +169,8 @@ func (s *Scheduler) At(t time.Duration, fn func()) Event {
 // member arming — exactly where a dedicated event would have drawn one —
 // so the counter (and every FIFO tie-break downstream of it) evolves
 // byte-identically whether tickers are pooled or not.
+//
+//mmlint:noalloc
 func (s *Scheduler) takeSeq() uint64 {
 	q := s.seq
 	s.seq++
@@ -173,6 +181,8 @@ func (s *Scheduler) takeSeq() uint64 {
 // line events reuse their front member's seq, which places the pooled
 // event in exactly the heap position the member's dedicated event would
 // have had.
+//
+//mmlint:noalloc
 func (s *Scheduler) atSeq(t time.Duration, seq uint64, fn func()) Event {
 	if t < s.now {
 		t = s.now
@@ -189,18 +199,22 @@ func (s *Scheduler) atSeq(t time.Duration, seq uint64, fn func()) Event {
 
 // allocSlot takes a slot from the free list (or grows the arena). The
 // caller fills it and either heap-pushes it or threads it into a line.
+//
+//mmlint:noalloc
 func (s *Scheduler) allocSlot() int32 {
 	if n := len(s.free); n > 0 {
 		i := s.free[n-1]
 		s.free = s.free[:n-1]
 		return i
 	}
-	s.slots = append(s.slots, slot{})
+	s.slots = append(s.slots, slot{}) //mmlint:alloc-ok arena growth is amortized; the free list recycles slots
 	return int32(len(s.slots) - 1)
 }
 
 // After schedules fn to run d after the current virtual time. Negative d
 // clamps to zero.
+//
+//mmlint:noalloc
 func (s *Scheduler) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
@@ -214,6 +228,8 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // Step fires the single earliest pending event, advancing virtual time to
 // its timestamp. It reports false when the queue is empty.
+//
+//mmlint:noalloc
 func (s *Scheduler) Step() bool {
 	for len(s.heap) > 0 {
 		i := s.popMin()
@@ -266,6 +282,8 @@ func (s *Scheduler) RunUntil(deadline time.Duration) error {
 
 // peekAt returns the timestamp of the earliest live event, discarding
 // cancelled heap heads along the way.
+//
+//mmlint:noalloc
 func (s *Scheduler) peekAt() (time.Duration, bool) {
 	at, _, ok := s.peekMin()
 	return at, ok
@@ -275,6 +293,8 @@ func (s *Scheduler) peekAt() (time.Duration, bool) {
 // event, discarding cancelled heads along the way. Delay lines use it to
 // decide whether their next front entry is globally next (see
 // delayLine.fire's same-instant batch).
+//
+//mmlint:noalloc
 func (s *Scheduler) peekMin() (time.Duration, uint64, bool) {
 	for len(s.heap) > 0 {
 		i := s.heap[0]
@@ -292,12 +312,14 @@ func (s *Scheduler) peekMin() (time.Duration, uint64, bool) {
 
 // freeSlot returns a slot to the free list. The generation bump invalidates
 // every outstanding handle to the old occupant.
+//
+//mmlint:noalloc
 func (s *Scheduler) freeSlot(i int32) {
 	sl := &s.slots[i]
 	sl.fn = nil
 	sl.gen++
 	sl.pos = posFree
-	s.free = append(s.free, i)
+	s.free = append(s.free, i) //mmlint:alloc-ok free-list growth is amortized against arena capacity
 }
 
 // maybePurge compacts the heap when cancelled entries outnumber live ones.
@@ -328,6 +350,8 @@ func (s *Scheduler) maybePurge() {
 }
 
 // less orders slots by (at, seq): time order with FIFO tie-break.
+//
+//mmlint:noalloc
 func (s *Scheduler) less(a, b int32) bool {
 	sa, sb := &s.slots[a], &s.slots[b]
 	if sa.at != sb.at {
@@ -337,13 +361,17 @@ func (s *Scheduler) less(a, b int32) bool {
 }
 
 // push appends slot i to the heap and restores the heap invariant.
+//
+//mmlint:noalloc
 func (s *Scheduler) push(i int32) {
-	s.heap = append(s.heap, i)
+	s.heap = append(s.heap, i) //mmlint:alloc-ok heap growth is amortized; the backing array is reused
 	s.slots[i].pos = int32(len(s.heap) - 1)
 	s.siftUp(len(s.heap) - 1)
 }
 
 // popMin removes and returns the root (minimum) slot index.
+//
+//mmlint:noalloc
 func (s *Scheduler) popMin() int32 {
 	h := s.heap
 	min := h[0]
@@ -358,6 +386,7 @@ func (s *Scheduler) popMin() int32 {
 	return min
 }
 
+//mmlint:noalloc
 func (s *Scheduler) siftUp(i int) {
 	h := s.heap
 	id := h[i]
@@ -374,6 +403,7 @@ func (s *Scheduler) siftUp(i int) {
 	s.slots[id].pos = int32(i)
 }
 
+//mmlint:noalloc
 func (s *Scheduler) siftDown(i int) {
 	h := s.heap
 	n := len(h)

@@ -141,6 +141,8 @@ func (g *tickGroup) join(t *Ticker, at time.Duration) {
 
 // sync makes the group's scheduler event track the front member, creating,
 // keeping or replacing it as membership changes.
+//
+//mmlint:noalloc
 func (g *tickGroup) sync() {
 	if len(g.heap) == 0 {
 		if g.event.Cancel() {
@@ -166,6 +168,8 @@ func (g *tickGroup) sync() {
 // like the member's dedicated event used to: ticks++, callback, then —
 // unless the callback stopped or reset the ticker — a fresh seq draw for
 // the next firing.
+//
+//mmlint:noalloc
 func (g *tickGroup) fire() {
 	g.event = Event{}
 	g.s.groupEvts--
@@ -189,6 +193,8 @@ func (g *tickGroup) fire() {
 }
 
 // less orders members by (at, seq) — the scheduler's own ordering.
+//
+//mmlint:noalloc
 func (g *tickGroup) less(a, b *Ticker) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -197,8 +203,10 @@ func (g *tickGroup) less(a, b *Ticker) bool {
 }
 
 // push inserts t into the member heap.
+//
+//mmlint:noalloc
 func (g *tickGroup) push(t *Ticker) {
-	g.heap = append(g.heap, t)
+	g.heap = append(g.heap, t) //mmlint:alloc-ok heap growth is amortized; the backing array is reused
 	t.pos = int32(len(g.heap) - 1)
 	g.siftUp(len(g.heap) - 1)
 }
@@ -209,6 +217,8 @@ func (g *tickGroup) remove(t *Ticker) {
 }
 
 // removeAt deletes the member at heap index i, restoring the invariant.
+//
+//mmlint:noalloc
 func (g *tickGroup) removeAt(i int) {
 	h := g.heap
 	n := len(h) - 1
@@ -225,6 +235,7 @@ func (g *tickGroup) removeAt(i int) {
 	g.siftUp(int(last.pos))
 }
 
+//mmlint:noalloc
 func (g *tickGroup) siftUp(i int) {
 	h := g.heap
 	t := h[i]

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/tools/mmlint/internal/analysis/atest"
+	"repro/tools/mmlint/internal/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	atest.Run(t, "../../testdata", noalloc.Analyzer, "repro/internal/nafix")
+}

@@ -1,0 +1,410 @@
+package packetrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/mmlint/internal/analysis"
+)
+
+// The analyzer needs "on every control-flow path" precision, so each
+// function body is lowered to a small control-flow graph before the
+// ownership dataflow runs. The builder covers the statement forms the
+// simulator uses; a construct it cannot model soundly (goto) marks the
+// function unanalyzable and the analyzer skips it rather than guess.
+
+// elem is one unit of work inside a block: an ast.Node to interpret, or
+// an edge refinement produced from an if-condition.
+type elem any
+
+type assumeKind int
+
+const (
+	// assumeEmpty: the edge proves the variable holds no live packet
+	// (`v == nil`, or `err != nil` after `v, err := producer(...)`).
+	assumeEmpty assumeKind = iota
+	// assumeRestore: the edge proves a conditional sink did NOT consume
+	// the packet (`err != nil` after Send, the false edge of Buffer), so
+	// ownership returns to the caller.
+	assumeRestore
+)
+
+// assumeElem adjusts one variable's ownership state on a branch edge.
+type assumeElem struct {
+	obj  *types.Var
+	kind assumeKind
+}
+
+type block struct {
+	elems []elem
+	succs []*block
+}
+
+func (b *block) addSucc(s *block) {
+	if s != nil {
+		b.succs = append(b.succs, s)
+	}
+}
+
+type loopFrame struct {
+	label      string
+	breakTo    *block
+	continueTo *block
+}
+
+type builder struct {
+	info *types.Info
+	// refine inspects an if-condition and returns assume elems for the
+	// then- and else-edges; supplied by the analyzer, which knows the
+	// facts table and the function's error-variable associations.
+	refine func(cond ast.Expr) (thenElems, elseElems []elem)
+
+	blocks []*block
+	entry  *block
+	exit   *block // merged return/fall-off exit; leak check runs here
+	dead   *block // panic/fatal exits; no leak check
+	loops  []loopFrame
+	ok     bool
+}
+
+func newBuilder(info *types.Info, refine func(ast.Expr) ([]elem, []elem)) *builder {
+	b := &builder{info: info, refine: refine, ok: true}
+	b.exit = b.newBlock()
+	b.dead = b.newBlock()
+	return b
+}
+
+func (b *builder) newBlock() *block {
+	bl := &block{}
+	b.blocks = append(b.blocks, bl)
+	return bl
+}
+
+// buildCFG lowers body and returns the graph and whether every construct
+// was representable.
+func buildCFG(info *types.Info, body *ast.BlockStmt, refine func(ast.Expr) ([]elem, []elem)) (*builder, bool) {
+	b := newBuilder(info, refine)
+	entry := b.newBlock()
+	end := b.stmts(body.List, entry, "")
+	if end != nil {
+		end.addSucc(b.exit) // fall off the end of the function
+	}
+	b.entry = entry
+	return b, b.ok
+}
+
+// stmts lowers a statement list starting in cur and returns the block
+// where control continues, or nil when every path terminated.
+func (b *builder) stmts(list []ast.Stmt, cur *block, label string) *block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/branch; ignore.
+			return nil
+		}
+		cur = b.stmt(s, cur, label)
+		if !b.ok {
+			return nil
+		}
+	}
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *block, label string) *block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur, "")
+	case *ast.EmptyStmt:
+		return cur
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, cur, s.Label.Name)
+	case *ast.ExprStmt:
+		if isTerminalCall(b.info, s.X) {
+			cur.elems = append(cur.elems, s)
+			cur.addSucc(b.dead)
+			return nil
+		}
+		cur.elems = append(cur.elems, s)
+		return cur
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+		cur.elems = append(cur.elems, s)
+		return cur
+	case *ast.ReturnStmt:
+		cur.elems = append(cur.elems, s)
+		cur.addSucc(b.exit)
+		return nil
+	case *ast.IfStmt:
+		return b.ifStmt(s, cur)
+	case *ast.ForStmt:
+		return b.forStmt(s, cur, label)
+	case *ast.RangeStmt:
+		return b.rangeStmt(s, cur, label)
+	case *ast.SwitchStmt:
+		return b.switchStmt(s, cur, label)
+	case *ast.TypeSwitchStmt:
+		return b.typeSwitchStmt(s, cur, label)
+	case *ast.SelectStmt:
+		return b.selectStmt(s, cur, label)
+	case *ast.BranchStmt:
+		return b.branchStmt(s, cur)
+	default:
+		// Unknown statement form: give up on the function.
+		b.ok = false
+		return nil
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt, cur *block) *block {
+	if s.Init != nil {
+		cur = b.stmt(s.Init, cur, "")
+		if cur == nil || !b.ok {
+			return nil
+		}
+	}
+	cur.elems = append(cur.elems, s.Cond)
+	thenAssume, elseAssume := b.refine(s.Cond)
+	thenB := b.newBlock()
+	thenB.elems = append(thenB.elems, thenAssume...)
+	cur.addSucc(thenB)
+	thenEnd := b.stmts(s.Body.List, thenB, "")
+
+	elseB := b.newBlock()
+	elseB.elems = append(elseB.elems, elseAssume...)
+	cur.addSucc(elseB)
+	elseEnd := elseB
+	if s.Else != nil {
+		elseEnd = b.stmt(s.Else, elseB, "")
+	}
+	if thenEnd == nil && elseEnd == nil {
+		return nil
+	}
+	join := b.newBlock()
+	if thenEnd != nil {
+		thenEnd.addSucc(join)
+	}
+	if elseEnd != nil {
+		elseEnd.addSucc(join)
+	}
+	return join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, cur *block, label string) *block {
+	if s.Init != nil {
+		cur = b.stmt(s.Init, cur, "")
+		if cur == nil || !b.ok {
+			return nil
+		}
+	}
+	head := b.newBlock()
+	cur.addSucc(head)
+	after := b.newBlock()
+	post := b.newBlock()
+	if s.Cond != nil {
+		head.elems = append(head.elems, s.Cond)
+		head.addSucc(after)
+	}
+	body := b.newBlock()
+	head.addSucc(body)
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: after, continueTo: post})
+	bodyEnd := b.stmts(s.Body.List, body, "")
+	b.loops = b.loops[:len(b.loops)-1]
+	if bodyEnd != nil {
+		bodyEnd.addSucc(post)
+	}
+	if s.Post != nil {
+		endPost := b.stmt(s.Post, post, "")
+		if endPost != nil {
+			endPost.addSucc(head)
+		}
+	} else {
+		post.addSucc(head)
+	}
+	return after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, cur *block, label string) *block {
+	cur.elems = append(cur.elems, s.X)
+	head := b.newBlock()
+	cur.addSucc(head)
+	after := b.newBlock()
+	head.addSucc(after)
+	body := b.newBlock()
+	head.addSucc(body)
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: after, continueTo: head})
+	bodyEnd := b.stmts(s.Body.List, body, "")
+	b.loops = b.loops[:len(b.loops)-1]
+	if bodyEnd != nil {
+		bodyEnd.addSucc(head)
+	}
+	return after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, cur *block, label string) *block {
+	if s.Init != nil {
+		cur = b.stmt(s.Init, cur, "")
+		if cur == nil || !b.ok {
+			return nil
+		}
+	}
+	if s.Tag != nil {
+		cur.elems = append(cur.elems, s.Tag)
+	}
+	after := b.newBlock()
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: after})
+	var caseBodies []*block
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			cur.elems = append(cur.elems, e)
+		}
+		caseB := b.newBlock()
+		cur.addSucc(caseB)
+		caseBodies = append(caseBodies, caseB)
+	}
+	for i, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		end := b.stmtsWithFallthrough(cc.Body, caseBodies, i)
+		if end != nil {
+			end.addSucc(after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		cur.addSucc(after)
+	}
+	return after
+}
+
+// stmtsWithFallthrough lowers a case body, wiring a trailing fallthrough
+// to the next case's body block.
+func (b *builder) stmtsWithFallthrough(list []ast.Stmt, caseBodies []*block, i int) *block {
+	if n := len(list); n > 0 {
+		if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			end := b.stmts(list[:n-1], caseBodies[i], "")
+			if end != nil && i+1 < len(caseBodies) {
+				end.addSucc(caseBodies[i+1])
+			}
+			return nil
+		}
+	}
+	return b.stmts(list, caseBodies[i], "")
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, cur *block, label string) *block {
+	if s.Init != nil {
+		cur = b.stmt(s.Init, cur, "")
+		if cur == nil || !b.ok {
+			return nil
+		}
+	}
+	cur.elems = append(cur.elems, s.Assign)
+	after := b.newBlock()
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: after})
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseB := b.newBlock()
+		cur.addSucc(caseB)
+		end := b.stmts(cc.Body, caseB, "")
+		if end != nil {
+			end.addSucc(after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		cur.addSucc(after)
+	}
+	return after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, cur *block, label string) *block {
+	after := b.newBlock()
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: after})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		caseB := b.newBlock()
+		cur.addSucc(caseB)
+		if cc.Comm != nil {
+			caseB.elems = append(caseB.elems, cc.Comm)
+		}
+		end := b.stmts(cc.Body, caseB, "")
+		if end != nil {
+			end.addSucc(after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	return after
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt, cur *block) *block {
+	switch s.Tok {
+	case token.GOTO:
+		b.ok = false
+		return nil
+	case token.FALLTHROUGH:
+		// Handled by stmtsWithFallthrough; seeing one elsewhere means a
+		// form we did not expect.
+		b.ok = false
+		return nil
+	case token.BREAK:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			fr := b.loops[i]
+			if s.Label == nil || fr.label == s.Label.Name {
+				cur.addSucc(fr.breakTo)
+				return nil
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			fr := b.loops[i]
+			if fr.continueTo == nil {
+				continue // switch frames have no continue target
+			}
+			if s.Label == nil || fr.label == s.Label.Name {
+				cur.addSucc(fr.continueTo)
+				return nil
+			}
+		}
+	}
+	b.ok = false
+	return nil
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// isTerminalCall reports whether the expression statement never returns:
+// panic, or a function in the conventional fatal set.
+func isTerminalCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	switch analysis.Callee(info, call) {
+	case (analysis.FuncRef{Pkg: "os", Name: "Exit"}),
+		(analysis.FuncRef{Pkg: "log", Name: "Fatal"}),
+		(analysis.FuncRef{Pkg: "log", Name: "Fatalf"}),
+		(analysis.FuncRef{Pkg: "log", Name: "Fatalln"}):
+		return true
+	}
+	return false
+}

@@ -1,0 +1,738 @@
+// Package packetrelease verifies the simulator's packet-ownership
+// protocol at compile time: every *packet.Packet obtained from the pool
+// (New, NewControl, Clone, Encapsulate, ...) must reach packet.Release or
+// an ownership-transferring sink (Send, DeliverDirect, Drop, a Receive
+// handler, the switch buffer) on every control-flow path, exactly once.
+//
+// The analysis is intraprocedural over a per-function CFG with a small
+// set-of-path-states domain per packet variable: Owned, Freed (returned
+// to the pool), Sent (ownership transferred), Escaped (aliased or stored;
+// tracking waived). Branch refinement understands `v == nil`,
+// `err != nil` after a producing or conditionally-consuming call, and
+// `if buf.Buffer(pkt)`. Functions using goto are skipped. A function
+// whose packet flow is provably balanced but flag-correlated beyond the
+// domain (see pageFlood) can opt out of the leak check — never the
+// double-release check — with `//mmlint:packetflow-ok <reason>` in its
+// doc comment.
+package packetrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/mmlint/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "packetrelease",
+	Doc:  "check that every pooled packet reaches Release or an ownership sink on every path",
+	Run:  run,
+}
+
+// Ownership states. A variable's state is the set of states it can be in
+// across the paths reaching a program point, encoded as a bitset; the
+// merge is bitwise OR and definite-misuse reports require a singleton.
+const (
+	bitOwned   uint8 = 1 << iota // holds a live packet this function must consume
+	bitFreed                     // returned to the pool
+	bitSent                      // ownership transferred elsewhere
+	bitEscaped                   // aliased/stored/captured; tracking waived
+)
+
+type state map[*types.Var]uint8
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	// The pool implementation manages raw ownership by construction, and
+	// code outside internal/ (tests, tools) is out of contract scope.
+	if path == packetPkg || !analysis.IsInternalSimPath(path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			_, waived := analysis.DocDirective(decl.Doc, "packetflow-ok")
+			analyzeFunc(pass, decl.Body, obligations(pass, decl), waived)
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					analyzeFunc(pass, lit.Body, nil, waived)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// obligations returns the parameters this declaration must consume, per
+// the checked entries of the sinks table.
+func obligations(pass *analysis.Pass, decl *ast.FuncDecl) map[*types.Var]token.Pos {
+	sf, ok := sinks[analysis.DeclRef(pass.Info, decl)]
+	if !ok || !sf.checked {
+		return nil
+	}
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if idx == sf.arg {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					return map[*types.Var]token.Pos{v: name.Pos()}
+				}
+				return nil
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+type deferredRelease struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+type fnAnalysis struct {
+	pass *analysis.Pass
+	info *types.Info
+
+	// Error/bool variable associations for branch refinement, collected
+	// in a prepass over the body (nested function literals excluded —
+	// they are analyzed separately).
+	errProduced map[*types.Var]*types.Var // err -> packet that is nil when err != nil
+	errRestore  map[*types.Var]*types.Var // err -> packet the caller keeps when err != nil
+
+	origin    map[*types.Var]token.Pos // producer call site, for leak reports
+	obligated map[*types.Var]token.Pos
+	// capturedEscape holds variables captured by a function literal; a
+	// later producer binding to one is immediately waived.
+	capturedEscape map[*types.Var]bool
+	deferred       []deferredRelease
+
+	leakWaived bool
+	reporting  bool
+	reported   map[string]bool
+}
+
+func analyzeFunc(pass *analysis.Pass, body *ast.BlockStmt, obligated map[*types.Var]token.Pos, leakWaived bool) {
+	fa := &fnAnalysis{
+		pass:           pass,
+		info:           pass.Info,
+		errProduced:    make(map[*types.Var]*types.Var),
+		errRestore:     make(map[*types.Var]*types.Var),
+		origin:         make(map[*types.Var]token.Pos),
+		obligated:      obligated,
+		capturedEscape: make(map[*types.Var]bool),
+		leakWaived:     leakWaived,
+		reported:       make(map[string]bool),
+	}
+	fa.prepass(body)
+	cfg, ok := buildCFG(pass.Info, body, fa.refine)
+	if !ok {
+		return // unsupported control flow (goto): skip the function
+	}
+
+	// Fixpoint over the CFG, then a silent-to-reporting second pass.
+	in := map[*block]state{cfg.entry: {}}
+	for v, pos := range obligated {
+		in[cfg.entry][v] = bitOwned
+		fa.origin[v] = pos
+	}
+	work := []*block{cfg.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := cloneState(in[b])
+		for _, e := range b.elems {
+			fa.exec(st, e)
+		}
+		for _, succ := range b.succs {
+			if mergeInto(in, succ, st) {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	fa.reporting = true
+	for b, st0 := range in {
+		if b == cfg.exit || b == cfg.dead {
+			continue
+		}
+		st := cloneState(st0)
+		for _, e := range b.elems {
+			fa.exec(st, e)
+		}
+	}
+	exitState, reached := in[cfg.exit]
+	if !reached {
+		return
+	}
+	final := cloneState(exitState)
+	for _, d := range fa.deferred {
+		fa.consume(final, d.v, sinks[analysis.FuncRef{Pkg: packetPkg, Name: "Release"}], d.pos)
+	}
+	if fa.leakWaived {
+		return
+	}
+	for v, bits := range final {
+		if bits&bitOwned == 0 {
+			continue
+		}
+		if pos, ok := fa.obligated[v]; ok {
+			fa.reportf(pos, "parameter %s must reach Release or an ownership sink on every path (ownership facts: this function consumes it)", v.Name())
+		} else {
+			fa.reportf(fa.origin[v], "packet %s is not released or handed to an ownership sink on every path", v.Name())
+		}
+	}
+}
+
+func cloneState(st state) state {
+	out := make(state, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeInto(in map[*block]state, b *block, st state) bool {
+	cur, ok := in[b]
+	if !ok {
+		in[b] = cloneState(st)
+		return true
+	}
+	changed := false
+	for k, bits := range st {
+		if cur[k]|bits != cur[k] {
+			cur[k] |= bits
+			changed = true
+		}
+	}
+	return changed
+}
+
+// reportf reports once per (position, message), only during the report
+// phase (states are not final during fixpoint iteration).
+func (fa *fnAnalysis) reportf(pos token.Pos, format string, args ...any) {
+	if !fa.reporting {
+		return
+	}
+	d := fa.pass.Fset.Position(pos).String() + format
+	if fa.reported[d] {
+		return
+	}
+	fa.reported[d] = true
+	fa.pass.Reportf(pos, format, args...)
+}
+
+// prepass records err-variable associations from assignments of the form
+// `v, err := producer(...)` and `err := conditionalSink(..., pkt, ...)`,
+// skipping nested function literals.
+func (fa *fnAnalysis) prepass(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ref := analysis.Callee(fa.info, call)
+		if pf, ok := producers[ref]; ok && len(a.Lhs) == 2 {
+			pktVar := fa.lhsVar(a.Lhs[0])
+			errVar := fa.lhsVar(a.Lhs[1])
+			if errVar != nil {
+				if pktVar != nil {
+					fa.errProduced[errVar] = pktVar
+				}
+				if pf.condRestore && pf.consumesArg >= 0 && pf.consumesArg < len(call.Args) {
+					if av := fa.identVar(call.Args[pf.consumesArg]); av != nil {
+						fa.errRestore[errVar] = av
+					}
+				}
+			}
+		}
+		if sf, ok := sinks[ref]; ok && sf.condErr && len(a.Lhs) == 1 && sf.arg < len(call.Args) {
+			errVar := fa.lhsVar(a.Lhs[0])
+			av := fa.identVar(call.Args[sf.arg])
+			if errVar != nil && av != nil {
+				fa.errRestore[errVar] = av
+			}
+		}
+		return true
+	})
+}
+
+// lhsVar resolves an assignment target identifier to its variable.
+func (fa *fnAnalysis) lhsVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := fa.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := fa.info.Uses[id].(*types.Var)
+	return v
+}
+
+// identVar resolves a used identifier to its variable.
+func (fa *fnAnalysis) identVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := fa.info.Uses[id].(*types.Var)
+	return v
+}
+
+func isPacketVar(v *types.Var) bool {
+	return v != nil && analysis.IsNamedType(v.Type(), packetPkg, "Packet")
+}
+
+// refine produces branch-edge assumptions for an if-condition.
+func (fa *fnAnalysis) refine(cond ast.Expr) (thenElems, elseElems []elem) {
+	cond = ast.Unparen(cond)
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		t, e := fa.refine(u.X)
+		return e, t
+	}
+	if call, ok := cond.(*ast.CallExpr); ok {
+		// `if buf.Buffer(pkt) { ... }`: consumed on the true edge only.
+		sf, ok := sinks[analysis.Callee(fa.info, call)]
+		if ok && sf.condBool && sf.arg < len(call.Args) {
+			if v := fa.identVar(call.Args[sf.arg]); v != nil {
+				return nil, []elem{&assumeElem{obj: v, kind: assumeRestore}}
+			}
+		}
+		return nil, nil
+	}
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, nil
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(fa.info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(fa.info, y) {
+		return nil, nil
+	}
+	v := fa.identVar(x)
+	if v == nil {
+		return nil, nil
+	}
+	if isPacketVar(v) {
+		// The nil edge proves the variable holds nothing.
+		empty := []elem{&assumeElem{obj: v, kind: assumeEmpty}}
+		if be.Op == token.EQL {
+			return empty, nil
+		}
+		return nil, empty
+	}
+	// Error-variable refinement: the err != nil edge proves the produced
+	// packet is nil and/or that a conditional sink did not consume.
+	var onErr []elem
+	if p := fa.errProduced[v]; p != nil {
+		onErr = append(onErr, &assumeElem{obj: p, kind: assumeEmpty})
+	}
+	if r := fa.errRestore[v]; r != nil {
+		onErr = append(onErr, &assumeElem{obj: r, kind: assumeRestore})
+	}
+	if onErr == nil {
+		return nil, nil
+	}
+	if be.Op == token.NEQ { // err != nil
+		return onErr, nil
+	}
+	return nil, onErr // err == nil: error edge is the else branch
+}
+
+// exec interprets one CFG element against the state.
+func (fa *fnAnalysis) exec(st state, e elem) {
+	switch n := e.(type) {
+	case *assumeElem:
+		bits, ok := st[n.obj]
+		if !ok {
+			return
+		}
+		switch n.kind {
+		case assumeEmpty:
+			bits &^= bitOwned
+		case assumeRestore:
+			if bits&bitSent != 0 {
+				bits = bits&^bitSent | bitOwned
+			}
+		}
+		if bits == 0 {
+			delete(st, n.obj)
+		} else {
+			st[n.obj] = bits
+		}
+	case ast.Stmt:
+		fa.stmt(st, n)
+	case ast.Expr:
+		fa.eval(st, n, false)
+	}
+}
+
+func (fa *fnAnalysis) stmt(st state, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			fa.call(st, call, true)
+			return
+		}
+		fa.eval(st, s.X, false)
+	case *ast.AssignStmt:
+		fa.assign(st, s)
+	case *ast.IncDecStmt:
+		fa.eval(st, s.X, false)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if len(vs.Values) == 1 && len(vs.Names) >= 1 {
+				if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+					if _, isProd := producers[analysis.Callee(fa.info, call)]; isProd {
+						fa.call(st, call, false)
+						fa.bind(st, vs.Names[0], call)
+						continue
+					}
+				}
+			}
+			for _, val := range vs.Values {
+				fa.eval(st, val, true)
+			}
+		}
+	case *ast.SendStmt:
+		fa.eval(st, s.Chan, false)
+		fa.eval(st, s.Value, true)
+	case *ast.GoStmt:
+		// Deferred execution: even known sinks cannot be trusted at the
+		// spawn point, so every packet argument escapes.
+		fa.escapeCallArgs(st, s.Call)
+	case *ast.DeferStmt:
+		fa.deferStmt(st, s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			fa.eval(st, r, true)
+		}
+	}
+}
+
+func (fa *fnAnalysis) deferStmt(st state, s *ast.DeferStmt) {
+	ref := analysis.Callee(fa.info, s.Call)
+	if sf, ok := sinks[ref]; ok && sf.frees && !sf.condErr && !sf.condBool && sf.arg < len(s.Call.Args) {
+		if v := fa.identVar(s.Call.Args[sf.arg]); v != nil && isPacketVar(v) {
+			for _, d := range fa.deferred {
+				if d.v == v {
+					return
+				}
+			}
+			fa.deferred = append(fa.deferred, deferredRelease{v: v, pos: s.Pos()})
+			for i, arg := range s.Call.Args {
+				if i != sf.arg {
+					fa.eval(st, arg, false)
+				}
+			}
+			return
+		}
+	}
+	if isBorrow(ref) {
+		for _, arg := range s.Call.Args {
+			fa.eval(st, arg, false)
+		}
+		return
+	}
+	fa.escapeCallArgs(st, s.Call)
+}
+
+func (fa *fnAnalysis) escapeCallArgs(st state, call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		fa.eval(st, sel.X, false)
+	}
+	for _, arg := range call.Args {
+		fa.eval(st, arg, true)
+	}
+}
+
+func (fa *fnAnalysis) assign(st state, a *ast.AssignStmt) {
+	if len(a.Rhs) == 1 {
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			if _, isProd := producers[analysis.Callee(fa.info, call)]; isProd {
+				fa.call(st, call, false)
+				if id, ok := ast.Unparen(a.Lhs[0]).(*ast.Ident); ok {
+					fa.bind(st, id, call)
+				} else {
+					// Producer result stored straight into a field or
+					// element: ownership moves somewhere untracked.
+					fa.eval(st, a.Lhs[0], false)
+				}
+				return
+			}
+		}
+	}
+	for _, rhs := range a.Rhs {
+		fa.eval(st, rhs, true)
+	}
+	for _, lhs := range a.Lhs {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			// Overwriting a tracked variable unbinds it.
+			if v := fa.lhsVar(lhs); v != nil && a.Tok == token.ASSIGN {
+				delete(st, v)
+			}
+		case *ast.SelectorExpr:
+			fa.eval(st, l.X, false)
+		case *ast.IndexExpr:
+			fa.eval(st, l.X, false)
+			fa.eval(st, l.Index, false)
+		case *ast.StarExpr:
+			fa.eval(st, l.X, false)
+		}
+	}
+}
+
+// bind makes id a tracked owned packet produced at call.
+func (fa *fnAnalysis) bind(st state, id *ast.Ident, call *ast.CallExpr) {
+	if id.Name == "_" {
+		fa.reportf(call.Pos(), "owned packet from %s is discarded without Release", callName(call))
+		return
+	}
+	v := fa.lhsVar(id)
+	if v == nil || !isPacketVar(v) {
+		return
+	}
+	if fa.capturedEscape[v] {
+		st[v] = bitEscaped
+		return
+	}
+	st[v] = bitOwned
+	fa.origin[v] = call.Pos()
+}
+
+// eval interprets an expression: checks reads of freed packets and, when
+// escape is set, records that the value of a tracked identifier flows
+// somewhere the analysis cannot follow.
+func (fa *fnAnalysis) eval(st state, e ast.Expr, escape bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, _ := fa.info.Uses[e].(*types.Var)
+		if v == nil {
+			return
+		}
+		bits, tracked := st[v]
+		if tracked && bits == bitFreed {
+			fa.reportf(e.Pos(), "use of packet %s after Release", v.Name())
+		}
+		if escape && tracked {
+			st[v] = bits&^bitOwned | bitEscaped
+		}
+	case *ast.ParenExpr:
+		fa.eval(st, e.X, escape)
+	case *ast.SelectorExpr:
+		// Reading a field or method value: the base does not escape
+		// (payload and inner sharing are part of the packet contract).
+		fa.eval(st, e.X, false)
+	case *ast.CallExpr:
+		fa.call(st, e, false)
+	case *ast.UnaryExpr:
+		fa.eval(st, e.X, e.Op == token.AND)
+	case *ast.BinaryExpr:
+		fa.eval(st, e.X, false)
+		fa.eval(st, e.Y, false)
+	case *ast.StarExpr:
+		fa.eval(st, e.X, false)
+	case *ast.IndexExpr:
+		fa.eval(st, e.X, false)
+		fa.eval(st, e.Index, false)
+	case *ast.IndexListExpr:
+		fa.eval(st, e.X, false)
+		for _, idx := range e.Indices {
+			fa.eval(st, idx, false)
+		}
+	case *ast.SliceExpr:
+		fa.eval(st, e.X, false)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				fa.eval(st, b, false)
+			}
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				fa.eval(st, kv.Value, true)
+				continue
+			}
+			fa.eval(st, elt, true)
+		}
+	case *ast.TypeAssertExpr:
+		fa.eval(st, e.X, escape)
+	case *ast.FuncLit:
+		// The literal's body is analyzed separately; here, capturing a
+		// tracked packet waives its tracking.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, _ := fa.info.Uses[id].(*types.Var)
+			if v == nil || !isPacketVar(v) {
+				return true
+			}
+			fa.capturedEscape[v] = true
+			if bits, tracked := st[v]; tracked {
+				st[v] = bits&^bitOwned | bitEscaped
+			}
+			return true
+		})
+	}
+}
+
+// call interprets a call expression. discarded is set for expression
+// statements, where an owned producer result would be dropped on the
+// floor.
+func (fa *fnAnalysis) call(st state, call *ast.CallExpr, discarded bool) {
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := fa.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				fa.eval(st, call.Args[0], false)
+				for _, arg := range call.Args[1:] {
+					fa.eval(st, arg, true)
+				}
+			case "panic":
+				fa.eval(st, call.Args[0], true)
+			default:
+				for _, arg := range call.Args {
+					fa.eval(st, arg, false)
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := fa.info.Types[call.Fun]; ok && tv.IsType() {
+		for _, arg := range call.Args {
+			fa.eval(st, arg, false)
+		}
+		return
+	}
+
+	ref := analysis.Callee(fa.info, call)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		fa.eval(st, sel.X, false)
+	} else if ref == (analysis.FuncRef{}) {
+		fa.eval(st, call.Fun, false)
+	}
+
+	if pf, isProd := producers[ref]; isProd {
+		for i, arg := range call.Args {
+			if i == pf.consumesArg {
+				if v := fa.identVar(arg); v != nil && isPacketVar(v) {
+					fa.consume(st, v, sinkFact{frees: false}, arg.Pos())
+					continue
+				}
+				if sub, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+					fa.call(st, sub, false)
+					continue
+				}
+			}
+			fa.eval(st, arg, false)
+		}
+		if discarded {
+			fa.reportf(call.Pos(), "owned packet from %s is discarded without Release", callName(call))
+		}
+		return
+	}
+
+	if sf, isSink := sinks[ref]; isSink {
+		for i, arg := range call.Args {
+			if i == sf.arg {
+				if v := fa.identVar(arg); v != nil && isPacketVar(v) {
+					fa.consume(st, v, sf, arg.Pos())
+					continue
+				}
+				if sub, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+					// A producer result passed straight to a sink is
+					// consumed at birth.
+					fa.call(st, sub, false)
+					continue
+				}
+			}
+			fa.eval(st, arg, false)
+		}
+		return
+	}
+
+	if isBorrow(ref) {
+		for _, arg := range call.Args {
+			fa.eval(st, arg, false)
+		}
+		return
+	}
+
+	// Unknown callee: packet arguments escape.
+	for _, arg := range call.Args {
+		fa.eval(st, arg, true)
+	}
+}
+
+// consume moves a variable through a sink: the Owned fraction of its
+// path-state becomes Freed or Sent, and definite misuse (a path set that
+// is ONLY freed or only sent) is reported.
+func (fa *fnAnalysis) consume(st state, v *types.Var, sf sinkFact, pos token.Pos) {
+	bits, tracked := st[v]
+	if !tracked {
+		return // not a packet this function owns (borrowed param, etc.)
+	}
+	switch bits {
+	case bitFreed:
+		if sf.frees {
+			fa.reportf(pos, "double Release of packet %s", v.Name())
+		} else {
+			fa.reportf(pos, "packet %s is sent after Release", v.Name())
+		}
+	case bitSent:
+		if sf.frees {
+			fa.reportf(pos, "packet %s is released after its ownership was transferred", v.Name())
+		} else {
+			fa.reportf(pos, "packet %s is sent twice", v.Name())
+		}
+	}
+	target := bitSent
+	if sf.frees {
+		target = bitFreed
+	}
+	nb := bits &^ bitOwned
+	if bits&bitOwned != 0 || nb == 0 {
+		nb |= target
+	}
+	st[v] = nb
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,15 @@
+package packetrelease_test
+
+import (
+	"testing"
+
+	"repro/tools/mmlint/internal/analysis/atest"
+	"repro/tools/mmlint/internal/packetrelease"
+)
+
+func TestPacketRelease(t *testing.T) {
+	atest.Run(t, "../../testdata", packetrelease.Analyzer,
+		"repro/internal/prfix",
+		"repro/internal/multitier", // fixture: the checked-sink obligation side
+	)
+}

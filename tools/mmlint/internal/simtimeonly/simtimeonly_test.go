@@ -1,0 +1,12 @@
+package simtimeonly_test
+
+import (
+	"testing"
+
+	"repro/tools/mmlint/internal/analysis/atest"
+	"repro/tools/mmlint/internal/simtimeonly"
+)
+
+func TestSimtimeOnly(t *testing.T) {
+	atest.Run(t, "../../testdata", simtimeonly.Analyzer, "repro/internal/stfix")
+}

@@ -1,0 +1,27 @@
+// Package multitier is a fixture standing in for the real
+// repro/internal/multitier: the ownership facts mark Station.dropStale
+// and Station.deliverAir as checked sinks, so declaring them here lets
+// the tests exercise the obligation side of the contract (the declared
+// function must itself consume the parameter on every path).
+package multitier
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+type Station struct {
+	node *netsim.Node
+	net  *netsim.Network
+}
+
+func (s *Station) dropStale(pkt *packet.Packet) { // want "parameter pkt must reach Release or an ownership sink on every path"
+	if pkt.Dst == 0 {
+		return
+	}
+	packet.Release(pkt)
+}
+
+func (s *Station) deliverAir(pkt *packet.Packet) {
+	s.net.Drop(s.node, pkt, 0)
+}

@@ -1,0 +1,62 @@
+// Package nafix seeds noalloc violations inside //mmlint:noalloc
+// functions, plus the clean shapes that must stay silent.
+package nafix
+
+type payload struct{ a, b int }
+
+func sinkVariadic(vs ...any) {}
+
+//mmlint:noalloc
+func allocators(n int) int {
+	m := make(map[int]int, n) // want "make in //mmlint:noalloc function allocators"
+	p := new(payload)         // want "new in //mmlint:noalloc function allocators"
+	xs := []int{1, 2}         // want "slice literal in //mmlint:noalloc function allocators"
+	q := &payload{a: n}       // want "heap-escaping &composite literal"
+	xs = append(xs, n)        // want "append \\(may grow\\)"
+	return len(m) + p.a + q.a + len(xs)
+}
+
+//mmlint:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//mmlint:noalloc
+func capturing(n int) func() int {
+	return func() int { return n } // want "closure captures n"
+}
+
+//mmlint:noalloc
+func boxing(n int) any {
+	var i any
+	i = n           // want "assignment boxes a value into an interface"
+	_ = any(n)      // want "interface conversion boxes a value"
+	sinkVariadic(n) // want "argument boxes a value into an interface" "variadic call allocates its argument slice"
+	_ = i
+	return n // want "return boxes a value into an interface"
+}
+
+//mmlint:noalloc
+func waived(n int) int {
+	buf := make([]int, n) //mmlint:alloc-ok fixture: amortized arena growth
+	//mmlint:alloc-ok
+	bad := make([]int, n) // want "waiver requires a reason"
+	return len(buf) + len(bad)
+}
+
+//mmlint:noalloc
+func cleanShapes(n int, ps []payload) int {
+	v := payload{a: n, b: n} // value composite stays on the stack
+	f := func() {}           // non-capturing literal is a plain func
+	f()
+	total := 0
+	for i := range ps {
+		total += ps[i].a
+	}
+	return total + v.a + v.b
+}
+
+// unannotated is not checked at all.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

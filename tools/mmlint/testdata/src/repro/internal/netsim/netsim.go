@@ -1,0 +1,30 @@
+// Package netsim is a fixture stub of repro/internal/netsim. Signatures
+// keep the real packet-argument positions so the sink facts (keyed by
+// import path, receiver and name) resolve the same argument.
+package netsim
+
+import "repro/internal/packet"
+
+type Link struct{}
+
+type Node struct{ id int }
+
+type Network struct{ rng int }
+
+func (nd *Node) Network() *Network { return &Network{} }
+
+func (nd *Node) Send(l *Link, pkt *packet.Packet) error       { return nil }
+func (nd *Node) SendVia(peer *Node, pkt *packet.Packet) error { return nil }
+
+func (n *Network) Drop(at *Node, pkt *packet.Packet, reason int) {
+	packet.Release(pkt)
+}
+
+func (n *Network) DeliverDirect(from, to *Node, pkt *packet.Packet, delay int64, loss float64) error {
+	packet.Release(pkt)
+	return nil
+}
+
+type Handler interface {
+	Receive(pkt *packet.Packet, from *Node, link *Link)
+}

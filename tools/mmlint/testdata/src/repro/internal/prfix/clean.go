@@ -1,0 +1,63 @@
+package prfix
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+func cleanSendWithDrop(node *netsim.Node, l *netsim.Link, net *netsim.Network, at *netsim.Node) {
+	p := packet.NewFrom(1, 2)
+	if err := node.Send(l, p); err != nil {
+		net.Drop(at, p, 0)
+	}
+}
+
+func cleanDeferRelease() int {
+	p := packet.New()
+	defer packet.Release(p)
+	return p.Size()
+}
+
+func cleanCloneFanout(node *netsim.Node, l *netsim.Link, net *netsim.Network, at *netsim.Node) {
+	p := packet.New()
+	defer packet.Release(p)
+	out := p.Clone()
+	if err := out.DecrementTTL(); err != nil {
+		packet.Release(out)
+		return
+	}
+	if err := node.Send(l, out); err != nil {
+		net.Drop(at, out, 0)
+	}
+}
+
+func cleanDeliverDirect(net *netsim.Network, from, to *netsim.Node) {
+	p := packet.NewFrom(3, 4)
+	_ = net.DeliverDirect(from, to, p, 10, 0.1)
+}
+
+func cleanEncapsulate(node *netsim.Node, l *netsim.Link, net *netsim.Network, at *netsim.Node) {
+	inner := packet.NewFrom(1, 2)
+	tun, err := packet.Encapsulate(3, 4, inner)
+	if err != nil {
+		packet.Release(inner)
+		return
+	}
+	if err := node.Send(l, tun); err != nil {
+		net.Drop(at, tun, 0)
+	}
+}
+
+// waivedFlagCorrelation exercises the escape hatch for consumption that
+// correlates with a boolean flag — beyond the path-insensitive domain.
+//
+//mmlint:packetflow-ok handled flag mirrors the release branch; fixture for the waiver
+func waivedFlagCorrelation(cond bool) {
+	p := packet.New()
+	handled := false
+	if cond {
+		packet.Release(p)
+		handled = true
+	}
+	_ = handled
+}

@@ -1,0 +1,60 @@
+// Package prfix seeds packetrelease violations: leaks, double releases,
+// use after release, and misuse after ownership transfer.
+package prfix
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+func leakOnBranch(cond bool) {
+	p := packet.New() // want "packet p is not released or handed to an ownership sink on every path"
+	if cond {
+		packet.Release(p)
+	}
+}
+
+func doubleRelease() {
+	p := packet.New()
+	packet.Release(p)
+	packet.Release(p) // want "double Release of packet p"
+}
+
+func useAfterRelease() uint32 {
+	p := packet.NewFrom(1, 2)
+	packet.Release(p)
+	return p.Dst // want "use of packet p after Release"
+}
+
+func sendAfterRelease(node *netsim.Node, l *netsim.Link) {
+	p := packet.New()
+	packet.Release(p)
+	_ = node.Send(l, p) // want "packet p is sent after Release"
+}
+
+func releaseAfterSend(node *netsim.Node, l *netsim.Link) {
+	p := packet.New()
+	_ = node.Send(l, p)
+	packet.Release(p) // want "packet p is released after its ownership was transferred"
+}
+
+func sentTwice(node *netsim.Node, l *netsim.Link) {
+	p := packet.New()
+	_ = node.Send(l, p)
+	_ = node.Send(l, p) // want "packet p is sent twice"
+}
+
+func discarded() {
+	packet.New() // want "discarded without Release"
+}
+
+func encapRestoreLeak(node *netsim.Node, l *netsim.Link) {
+	inner := packet.NewFrom(1, 2) // want "packet inner is not released or handed to an ownership sink on every path"
+	tun, err := packet.Encapsulate(3, 4, inner)
+	if err != nil {
+		// Encapsulate did not consume inner on this path; returning here
+		// leaks it.
+		return
+	}
+	_ = node.Send(l, tun)
+}

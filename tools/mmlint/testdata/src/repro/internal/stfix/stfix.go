@@ -1,0 +1,28 @@
+// Package stfix seeds simtimeonly violations: wall-clock timers, a
+// second heap, and hand-built simtime values.
+package stfix
+
+import (
+	_ "container/heap" // want "container/heap import: the simtime scheduler owns the only event heap"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func wallClockTimers(d time.Duration) {
+	time.Sleep(d)         // want "time.Sleep in simulator code"
+	<-time.After(d)       // want "time.After in simulator code"
+	t := time.NewTimer(d) // want "time.NewTimer in simulator code"
+	_ = t
+}
+
+var danglingTimer *time.Timer // want "time.Timer in simulator code"
+
+func handBuilt(sched *simtime.Scheduler) {
+	_ = simtime.Ticker{}     // want "simtime.Ticker composite literal"
+	_ = new(simtime.Ticker)  // want "new\\(simtime.Ticker\\)"
+	_ = simtime.Event{At: 5} // want "non-zero simtime.Event literal"
+	_ = simtime.Event{}      // the zero Event is the documented no-event value
+	tk := sched.Every(10, func() {})
+	tk.Stop()
+}
