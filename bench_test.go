@@ -153,6 +153,20 @@ func BenchmarkE10CapacityMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkE11Resilience tracks fault-injection throughput: the reduced
+// resilience matrix (root-outage profile, every scheme, one population)
+// keeps the fault scheduler, forced-deregistration flush, retransmission
+// backoff and recovery-tracking machinery on the clock.
+func BenchmarkE11Resilience(b *testing.B) {
+	m := experiments.SuiteResilienceMatrix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E11Resilience(benchOpt, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchAll runs the full E1–E8 suite with the given worker count; the
 // sequential/parallel pair quantifies the worker-pool speedup on the
 // whole regeneration.

@@ -4,7 +4,11 @@
 // QoE table) and, with -dimension, the E10 capacity×population matrix
 // (every population run on the fixed seed topology and again on a
 // demand-dimensioned arena, reporting reason-coded admission outcomes
-// and per-tier occupancy alongside QoE).
+// and per-tier occupancy alongside QoE). With -faults it runs the E11
+// resilience matrix instead: deterministic fault plans (station outages,
+// backbone degradation, regional radio fade) injected into every scheme,
+// reporting handoff loss, session survival, signalling load and
+// time-to-90%-re-registered recovery.
 //
 // Scale runs are bounded-memory by construction: each scenario owns a
 // private packet arena and per-profile metrics are streaming aggregates,
@@ -22,6 +26,8 @@
 //	mmscale -dimension -density dense -headroom 1.5
 //	mmscale -measureworkers 0                   # parallel measurement phase (0 = GOMAXPROCS)
 //	mmscale -dimension -rootocc                 # per-root occupancy column (load balance)
+//	mmscale -faults                             # E11: resilience matrix, all fault profiles
+//	mmscale -faults -faultprofiles root-outage  # one fault profile
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"repro/internal/capacity"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 )
 
@@ -61,6 +68,8 @@ func run(args []string) error {
 		fleetArg   = fs.String("fleet", def.Spec.String(), "population mix as name=share,... (built-in profiles)")
 		signalling = fs.Bool("signalling", false, "add per-profile location-update and paging columns to the E9 sweep (E10 always includes them)")
 		dimension  = fs.Bool("dimension", false, "run the E10 capacity matrix: fixed vs dimensioned topology")
+		faultsRun  = fs.Bool("faults", false, "run the E11 resilience matrix: deterministic fault injection x scheme")
+		faultprofs = fs.String("faultprofiles", "", "with -faults, comma-separated fault profiles to inject (default: all standard profiles)")
 		rootocc    = fs.Bool("rootocc", false, "with -dimension, add the per-root occupancy load-balance column")
 		density    = fs.String("density", string(capacity.DensityUrban), "dimensioning density preset (sparse|urban|dense)")
 		headroom   = fs.Float64("headroom", capacity.DefaultHeadroom, "dimensioning capacity headroom factor (>= 1)")
@@ -90,9 +99,34 @@ func run(args []string) error {
 		return err
 	}
 
+	if *faultsRun && *dimension {
+		return fmt.Errorf("-faults and -dimension are mutually exclusive")
+	}
+	if *faultprofs != "" && !*faultsRun {
+		return fmt.Errorf("-faultprofiles requires -faults")
+	}
+
 	start := time.Now()
 	var tbl *experiments.Table
-	if *dimension {
+	if *faultsRun {
+		profiles, perr := parseFaultProfiles(*faultprofs)
+		if perr != nil {
+			return fmt.Errorf("-faultprofiles: %w", perr)
+		}
+		m := experiments.DefaultResilienceMatrix()
+		m.Schemes = sw.Schemes
+		m.Duration = sw.Duration
+		m.Spec = sw.Spec
+		m.Profiles = profiles
+		// The resilience matrix has its own (smaller) default population
+		// axis; an explicit -mns still overrides it.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "mns" {
+				m.Populations = sw.Populations
+			}
+		})
+		tbl, err = experiments.E11Resilience(opt, m)
+	} else if *dimension {
 		tbl, err = experiments.E10CapacityMatrix(opt, experiments.CapacityMatrix{
 			Populations: sw.Populations,
 			Schemes:     sw.Schemes,
@@ -158,6 +192,30 @@ func parseInts(s string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no populations")
+	}
+	return out, nil
+}
+
+// parseFaultProfiles resolves a comma-separated profile-name list against
+// the standard fault profiles; empty means all of them.
+func parseFaultProfiles(s string) ([]faults.NamedPlan, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []faults.NamedPlan
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		np, err := faults.ProfileByName(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, np)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no fault profiles")
 	}
 	return out, nil
 }

@@ -158,6 +158,36 @@ func (bs *BaseStation) HasHost(ip addr.IP) bool {
 	return ok
 }
 
+// HasRoute reports whether the station holds live routing or paging
+// state for the host — at the gateway this is Cellular IP's notion of
+// "registered" (downlink packets reach the host without a flood).
+func (bs *BaseStation) HasRoute(ip addr.IP) bool {
+	return len(bs.routing.Lookup(ip)) > 0 || len(bs.paging.Lookup(ip)) > 0
+}
+
+// SetAirLoss changes the station's air-interface loss probability
+// (fault injection: regional radio fade).
+func (bs *BaseStation) SetAirLoss(p float64) { bs.cfg.AirLoss = p }
+
+// Fail forces the station down (fault injection): arrivals die at the
+// netsim layer and the soft caches are wiped — Cellular IP state is
+// soft by design, so a crash loses exactly the routing/paging entries.
+// The air associations are kept: hosts have no beacon-loss detection,
+// and their own route-update traffic rebuilds the caches after
+// recovery (re-registration through the normal refresh machinery).
+func (bs *BaseStation) Fail() {
+	if bs.node.Down() {
+		return
+	}
+	bs.node.SetDown(true)
+	bs.routing.Clear()
+	bs.paging.Clear()
+}
+
+// Recover brings a failed station back up; caches rebuild from host
+// refreshes, which is the measured recovery path.
+func (bs *BaseStation) Recover() { bs.node.SetDown(false) }
+
 // Receive implements netsim.Handler. Direction is inferred from the
 // ingress interface: air (link == nil) and child links carry uplink,
 // the parent link carries downlink.

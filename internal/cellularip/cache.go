@@ -90,6 +90,9 @@ func (c *SoftCache) liveMappings(host addr.IP) []Mapping {
 // Remove deletes every mapping for host.
 func (c *SoftCache) Remove(host addr.IP) { delete(c.entries, host) }
 
+// Clear wipes every entry — a crashed station loses its soft state.
+func (c *SoftCache) Clear() { clear(c.entries) }
+
 // Len returns the number of hosts with at least one live mapping.
 func (c *SoftCache) Len() int {
 	n := 0

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/capacity"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/topology"
 )
@@ -121,7 +122,13 @@ type Config struct {
 	ResourceSwitching bool
 	// GuardChannels overrides the per-tier guard channel count when >= 0.
 	GuardChannels int
-	// AuthEnabled arms per-domain RSMC authentication (multi-tier only).
+	// AuthEnabled arms registration-path authentication: per-domain RSMC
+	// authentication on multi-tier handoffs, plus MHAE-style signing and
+	// HA-side verification (timestamp window, replay rejection) of Mobile
+	// IP registrations — MN registrations on the flat scheme, anchor
+	// registrations on multi-tier. Signed registrations carry the
+	// 40-byte extension, so the signalling byte counters include the
+	// per-message authentication cost.
 	AuthEnabled bool
 	// TableTTL overrides the location-table record lifetime (0 keeps the
 	// station default) — ablation D1.
@@ -153,6 +160,16 @@ type Config struct {
 	// the larger cell layout). nil keeps the fixed topology — the
 	// default path is byte-identical with or without this field present.
 	Capacity *capacity.Plan
+	// Faults optionally injects deterministic failures: the plan's
+	// station-outage / link-degradation / radio-fade windows are resolved
+	// against the built topology with a dedicated seeded rng stream and
+	// executed as scheduled events, and recovery/survival probes are
+	// installed under the "fault." metrics prefix. Registration recovery
+	// behaviour (backoff, reattempt, lifetime-expiry tracking) is armed on
+	// the Mobile IP population at the same time. nil injects nothing —
+	// the default path is byte-identical with or without this field
+	// present.
+	Faults *faults.Plan
 }
 
 // DefaultConfig is a moderate scenario: one-root topology so every scheme

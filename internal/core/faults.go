@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/mobileip"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// faultState collects the scheme-specific levers fault injection pulls.
+// Each run* builder populates it (only when cfg.Faults != nil) with
+// closures over its own station/agent objects, so installFaults can stay
+// scheme-agnostic: it resolves the plan to events and fires these hooks.
+type faultState struct {
+	// stationDown forces the station serving cell out of service:
+	// in-flight packets flush with reason-coded drops and served MNs are
+	// deregistered.
+	stationDown func(cell topology.CellID)
+	// stationUp restores the station; registrations rebuild through the
+	// protocols' own recovery machinery (retry, reattempt, refresh).
+	stationUp func(cell topology.CellID)
+	// fadeSet adds extra air-interface loss on cell; fadeClear restores
+	// the pre-fade value.
+	fadeSet   func(cell topology.CellID, extra float64)
+	fadeClear func(cell topology.CellID)
+	// registered reports whether MN i currently holds a live registration
+	// (scheme-specific notion: HA binding, gateway route, or anchor
+	// registration) — the probe behind the recovery and survival metrics.
+	registered func(i int) bool
+}
+
+// faultMetrics are created only on fault runs, so a nil-Faults registry
+// carries no "fault." names and the E1–E10 goldens stay byte-identical.
+type faultMetrics struct {
+	stationDowns *metrics.Counter
+	stationUps   *metrics.Counter
+	linkDegraded *metrics.Counter
+	linkRestored *metrics.Counter
+	fadeStarts   *metrics.Counter
+	fadeEnds     *metrics.Counter
+
+	// recoveryAffected counts MNs left unregistered at each station-up
+	// instant; recoveryRecovered the ones re-registered when the tracker
+	// hit its 90% target; t90 samples the time that took, in seconds.
+	recoveryAffected  *metrics.Counter
+	recoveryRecovered *metrics.Counter
+	t90               *metrics.Sample
+
+	// population/survivors probe session survival just before the run
+	// ends: survivors/population is the fraction of MNs that finish the
+	// run registered.
+	population *metrics.Counter
+	survivors  *metrics.Counter
+}
+
+func newFaultMetrics(reg *metrics.Registry) *faultMetrics {
+	return &faultMetrics{
+		stationDowns:      reg.Counter("fault.station.downs"),
+		stationUps:        reg.Counter("fault.station.ups"),
+		linkDegraded:      reg.Counter("fault.link.degraded"),
+		linkRestored:      reg.Counter("fault.link.restored"),
+		fadeStarts:        reg.Counter("fault.fade.starts"),
+		fadeEnds:          reg.Counter("fault.fade.ends"),
+		recoveryAffected:  reg.Counter("fault.recovery.affected"),
+		recoveryRecovered: reg.Counter("fault.recovery.recovered"),
+		t90:               reg.Sample("fault.recovery.t90_s"),
+		population:        reg.Counter("fault.session.population"),
+		survivors:         reg.Counter("fault.session.survivors"),
+	}
+}
+
+// installFaults resolves cfg.Faults against the built topology and wires
+// the resulting schedule plus the recovery/survival probes into the event
+// queue. It runs after the scheme builder (the hooks must exist) and
+// before RunUntil. On the nil-Faults path it returns immediately without
+// touching the scheduler, the rng, or the registry.
+func (s *scenario) installFaults() error {
+	plan := s.cfg.Faults
+	if plan == nil {
+		return nil
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	h := s.faultHooks
+	if h == nil || h.registered == nil {
+		return fmt.Errorf("%w: scheme %q installed no fault hooks", ErrBadConfig, s.cfg.Scheme)
+	}
+	links := s.net.Links()
+	// The dedicated fault stream: forked only here, so legacy runs draw
+	// the exact same sequence they always did.
+	rng := s.rng.Fork()
+	schedule, err := plan.Expand(s.top, len(links), rng, s.cfg.Duration)
+	if err != nil {
+		return err
+	}
+	fm := newFaultMetrics(s.reg)
+	// Degrade windows add loss/delay on top of the creation-time values
+	// and restore exactly these.
+	orig := make([]netsim.LinkConfig, len(links))
+	for i, l := range links {
+		orig[i] = l.Config()
+	}
+	for _, ev := range schedule {
+		ev := ev
+		s.sched.At(ev.At, func() { s.applyFault(ev, links, orig, fm) })
+	}
+	// Session-survival probe: one sample strictly inside the run, as
+	// close to the end as the clock allows.
+	probeAt := s.cfg.Duration - time.Millisecond
+	if probeAt < 0 {
+		probeAt = 0
+	}
+	s.sched.At(probeAt, func() {
+		fm.population.Add(uint64(s.cfg.NumMNs))
+		n := 0
+		for i := 0; i < s.cfg.NumMNs; i++ {
+			if h.registered(i) {
+				n++
+			}
+		}
+		fm.survivors.Add(uint64(n))
+	})
+	return nil
+}
+
+// applyFault executes one resolved fault transition.
+func (s *scenario) applyFault(ev faults.Event, links []*netsim.Link, orig []netsim.LinkConfig, fm *faultMetrics) {
+	h := s.faultHooks
+	switch ev.Kind {
+	case faults.StationDown:
+		for _, cell := range ev.Cells {
+			h.stationDown(cell)
+			fm.stationDowns.Inc()
+		}
+	case faults.StationUp:
+		for _, cell := range ev.Cells {
+			h.stationUp(cell)
+			fm.stationUps.Inc()
+		}
+		s.trackRecovery(fm)
+	case faults.LinkDegrade:
+		for _, idx := range ev.Links {
+			l, o := links[idx], orig[idx]
+			l.SetLoss(min(1, o.Loss+ev.Loss))
+			l.SetDelay(o.Delay + ev.ExtraDelay)
+			fm.linkDegraded.Inc()
+		}
+	case faults.LinkRestore:
+		for _, idx := range ev.Links {
+			l, o := links[idx], orig[idx]
+			l.SetLoss(o.Loss)
+			l.SetDelay(o.Delay)
+			fm.linkRestored.Inc()
+		}
+	case faults.FadeStart:
+		for _, cell := range ev.Cells {
+			h.fadeSet(cell, ev.Loss)
+			fm.fadeStarts.Inc()
+		}
+	case faults.FadeEnd:
+		for _, cell := range ev.Cells {
+			h.fadeClear(cell)
+			fm.fadeEnds.Inc()
+		}
+	}
+}
+
+// trackRecovery measures the re-registration storm after a station-up
+// transition: it snapshots the MNs left unregistered at the recovery
+// instant and polls at the measurement cadence until 90% of them hold a
+// registration again, then samples the elapsed time. A storm that never
+// converges simply keeps polling until the run ends and leaves no t90
+// sample — the matrix renders that as a blank, not a fake number.
+func (s *scenario) trackRecovery(fm *faultMetrics) {
+	h := s.faultHooks
+	upAt := s.sched.Now()
+	var affected []int
+	for i := 0; i < s.cfg.NumMNs; i++ {
+		if !h.registered(i) {
+			affected = append(affected, i)
+		}
+	}
+	if len(affected) == 0 {
+		return
+	}
+	fm.recoveryAffected.Add(uint64(len(affected)))
+	target := (9*len(affected) + 9) / 10 // ceil(0.9·n)
+	var poll func()
+	poll = func() {
+		n := 0
+		for _, i := range affected {
+			if h.registered(i) {
+				n++
+			}
+		}
+		if n >= target {
+			fm.recoveryRecovered.Add(uint64(n))
+			fm.t90.Observe((s.sched.Now() - upAt).Seconds())
+			return
+		}
+		s.sched.After(s.cfg.MeasureInterval, poll)
+	}
+	s.sched.After(s.cfg.MeasureInterval, poll)
+}
+
+// faultMNConfig arms the Mobile IP recovery behaviour fault runs rely on:
+// capped exponential backoff with seeded jitter, periodic reattempts
+// after retry exhaustion, lifetime-expiry tracking, and a lifetime short
+// enough relative to the horizon that renewals actually happen inside
+// time-scaled runs.
+// The cap and reattempt cadence scale with the horizon (clamped to sane
+// wall values) so time-scaled golden runs still reach the reattempt loop
+// inside their shortened windows.
+func faultMNConfig(cfg mobileip.MNConfig, horizon time.Duration) mobileip.MNConfig {
+	cfg.RetryBackoff = 2
+	cfg.RetryJitter = 0.1
+	cfg.RetryCap = clampDur(horizon/5, 500*time.Millisecond, 4*time.Second)
+	cfg.ReattemptInterval = clampDur(horizon/10, 200*time.Millisecond, 2*time.Second)
+	cfg.TrackExpiry = true
+	if lt := horizon / 4; lt < cfg.Lifetime {
+		if lt < time.Second {
+			lt = time.Second
+		}
+		cfg.Lifetime = lt
+	}
+	return cfg
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

@@ -91,6 +91,9 @@ type scenario struct {
 	fleet *fleetState
 	// arena is the run's private packet allocator (nil = global pool).
 	arena *packet.Arena
+	// faultHooks is non-nil only when cfg.Faults is set; the scheme
+	// builders populate it and installFaults fires it (see faults.go).
+	faultHooks *faultState
 }
 
 // Run executes one scenario and returns its results.
@@ -155,6 +158,9 @@ func Run(cfg Config) (*Result, error) {
 	s.buildMobility()
 	s.drivers = make([]measureDriver, cfg.NumMNs)
 	s.measureWorkers = cfg.MeasureWorkers
+	if cfg.Faults != nil {
+		s.faultHooks = &faultState{}
+	}
 
 	switch cfg.Scheme {
 	case SchemeMobileIP:
@@ -174,6 +180,9 @@ func Run(cfg Config) (*Result, error) {
 	// so cycles don't fork and join a worker pool that has nothing to do.
 	if s.measureWorkers > 1 && !s.anyParallelDriver() {
 		s.measureWorkers = 1
+	}
+	if err := s.installFaults(); err != nil {
+		return nil, err
 	}
 
 	if err := s.sched.RunUntil(cfg.Duration); err != nil {
@@ -341,6 +350,14 @@ func (s *scenario) runMobileIP() error {
 	s.inetRouter.AddRoute(addr.MustParsePrefix(homeNet), lHA)
 	ha.Router().Default = lHA
 
+	// AuthEnabled arms MHAE-style registration authentication: one shared
+	// mobility security association signs at the MNs and verifies at the
+	// HA, with the timestamp-window replay check.
+	mnAuth, err := s.mipAuth(ha)
+	if err != nil {
+		return err
+	}
+
 	// One FA per macro-class cell, each on its own wired link.
 	fas := make(map[topology.CellID]*mobileip.ForeignAgent)
 	var faCells []*topology.Cell
@@ -365,13 +382,24 @@ func (s *scenario) runMobileIP() error {
 
 	sel := radio.DefaultSelector()
 	measure := s.measureRng()
+	mns := make([]*mobileip.MobileNode, s.cfg.NumMNs)
 	for i := 0; i < s.cfg.NumMNs; i++ {
 		home := mnHome(i)
 		mnNode := s.net.NewNode(fmt.Sprintf("mn-%d", i))
 		cfg := mobileip.DefaultMNConfig()
+		if s.cfg.Faults != nil {
+			cfg = faultMNConfig(cfg, s.cfg.Duration)
+		}
 		mn := mobileip.NewMobileNode(mnNode, home, addr.MustParse(haIP), cfg, stats)
+		if s.cfg.Faults != nil {
+			mn.SetRand(s.rng.Fork()) // retry-jitter stream, fault runs only
+		}
+		if mnAuth != nil {
+			mn.SetAuth(mnAuth)
+		}
 		mn.OnData = s.onDelivered(i)
 		mn.OnLocationSignal = s.signalSink(i)
+		mns[i] = mn
 		s.startTraffic(i, home, s.rng.Fork())
 
 		current := topology.NoCell
@@ -389,8 +417,69 @@ func (s *scenario) runMobileIP() error {
 				mn.MoveTo(fas[best])
 			})
 	}
+
+	if s.faultHooks != nil {
+		fadeBase := make(map[topology.CellID]float64)
+		s.faultHooks.stationDown = func(cell topology.CellID) {
+			fa := fas[cell]
+			if fa == nil {
+				return // micro-tier cell: no FA on the flat scheme
+			}
+			fa.StopAdvertising()
+			fa.Node().SetDown(true)
+			fa.OrphanVisitors()
+		}
+		s.faultHooks.stationUp = func(cell topology.CellID) {
+			fa := fas[cell]
+			if fa == nil {
+				return
+			}
+			fa.Node().SetDown(false)
+			// The re-registration storm: every MN parked on the failed FA
+			// re-attaches and re-registers at the recovery instant.
+			for _, mn := range mns {
+				if mn.CurrentAgent() == fa {
+					mn.Reregister()
+				}
+			}
+		}
+		s.faultHooks.fadeSet = func(cell topology.CellID, extra float64) {
+			fa := fas[cell]
+			if fa == nil {
+				return
+			}
+			fadeBase[cell] = fa.AirLoss
+			fa.AirLoss = min(1, fa.AirLoss+extra)
+		}
+		s.faultHooks.fadeClear = func(cell topology.CellID) {
+			if fa := fas[cell]; fa != nil {
+				fa.AirLoss = fadeBase[cell]
+			}
+		}
+		s.faultHooks.registered = func(i int) bool { return mns[i].Registered() }
+	}
 	return nil
 }
+
+// mipAuth builds the shared registration authenticator when
+// cfg.AuthEnabled is set, arming HA-side verification with the replay
+// window. It returns nil (and arms nothing) otherwise.
+func (s *scenario) mipAuth(ha *mobileip.HomeAgent) (*auth.Authenticator, error) {
+	if !s.cfg.AuthEnabled {
+		return nil, nil
+	}
+	a, err := auth.New([]byte("mip-registration-secret"))
+	if err != nil {
+		return nil, fmt.Errorf("auth: %w", err)
+	}
+	ha.SetAuth(a, mipAuthWindow)
+	return a, nil
+}
+
+// mipAuthWindow is the HA's replay-protection timestamp window: signed
+// registrations whose nonce (virtual send instant) is older than this are
+// rejected as replays (RFC 5944 §5.7 style).
+const mipAuthWindow = 3 * time.Second
 
 // ---------------------------------------------------------------------------
 // Scheme: flat Cellular IP over every cell
@@ -436,11 +525,13 @@ func (s *scenario) runCellularIP(semisoft bool) error {
 	sel := radio.DefaultSelector()
 	measure := s.measureRng()
 	byAddr := make(map[addr.IP]*metrics.Breakdown, s.cfg.NumMNs)
+	ips := make([]addr.IP, s.cfg.NumMNs)
 	for i := 0; i < s.cfg.NumMNs; i++ {
 		ip, err := served.Nth(uint32(1000 + i))
 		if err != nil {
 			return fmt.Errorf("cip host address: %w", err)
 		}
+		ips[i] = ip
 		node := s.net.NewNode(fmt.Sprintf("mn-%d", i))
 		host := cellularip.NewMobileHost(node, ip, cipCfg, stats)
 		host.OnData = s.onDelivered(i)
@@ -470,6 +561,22 @@ func (s *scenario) runCellularIP(semisoft bool) error {
 			})
 	}
 	stats.PageSink = s.pageSink(byAddr)
+
+	if s.faultHooks != nil {
+		fadeBase := make(map[topology.CellID]float64)
+		s.faultHooks.stationDown = func(cell topology.CellID) { stations[cell].Fail() }
+		s.faultHooks.stationUp = func(cell topology.CellID) { stations[cell].Recover() }
+		s.faultHooks.fadeSet = func(cell topology.CellID, extra float64) {
+			bs := stations[cell]
+			base := bs.Config().AirLoss
+			fadeBase[cell] = base
+			bs.SetAirLoss(min(1, base+extra))
+		}
+		s.faultHooks.fadeClear = func(cell topology.CellID) { stations[cell].SetAirLoss(fadeBase[cell]) }
+		// "Registered" on Cellular IP means the gateway can still route
+		// (or page) the host — exactly the state outages wipe.
+		s.faultHooks.registered = func(i int) bool { return gw.HasRoute(ips[i]) }
+	}
 	return nil
 }
 
@@ -513,10 +620,21 @@ func (s *scenario) runMultiTier() error {
 	s.inetRouter.AddRoute(addr.MustParsePrefix(homeNet), lHA)
 	ha.Router().Default = lHA
 
+	// AuthEnabled also signs the roots' anchor registrations toward the
+	// HA — the Mobile IP leg of the multi-tier architecture carries the
+	// same MHAE cost and replay protection as the flat scheme.
+	anchorAuth, err := s.mipAuth(ha)
+	if err != nil {
+		return err
+	}
+
 	for _, root := range fab.Roots {
 		l := s.net.Connect(s.inet, root.Node(), netsim.LinkConfig{Delay: wiredDelay})
 		s.inetRouter.AddRoute(root.Cell().Prefix, l)
 		fab.External(root.Cell().ID).Default = l
+		if anchorAuth != nil {
+			root.SetAnchorAuth(anchorAuth)
+		}
 	}
 
 	// One RSMC per domain; optionally armed with an authenticator shared
@@ -568,6 +686,31 @@ func (s *scenario) runMultiTier() error {
 			})
 	}
 	stats.PageSink = s.pageSink(byAddr)
+
+	if s.faultHooks != nil {
+		fadeBase := make(map[topology.CellID]float64)
+		s.faultHooks.stationDown = func(cell topology.CellID) { fab.Station(cell).Fail() }
+		s.faultHooks.stationUp = func(cell topology.CellID) { fab.Station(cell).Recover() }
+		s.faultHooks.fadeSet = func(cell topology.CellID, extra float64) {
+			st := fab.Station(cell)
+			base := st.Config().AirLoss
+			fadeBase[cell] = base
+			st.SetAirLoss(min(1, base+extra))
+		}
+		s.faultHooks.fadeClear = func(cell topology.CellID) { fab.Station(cell).SetAirLoss(fadeBase[cell]) }
+		// "Registered" on multi-tier means some root anchors the MN with
+		// the HA — the binding a root outage wipes and the periodic
+		// location refreshes rebuild.
+		s.faultHooks.registered = func(i int) bool {
+			home := mnHome(i)
+			for _, root := range fab.Roots {
+				if root.AnchorRegistered(home) {
+					return true
+				}
+			}
+			return false
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/topology"
+)
+
+// The golden E11 file pins the byte-exact resilience matrix at a fixed
+// seed: the deterministic fault schedule (dedicated rng stream), forced
+// deregistration and packet flushing, the Mobile IP retry/backoff/
+// reattempt lifecycle with seeded jitter, MHAE-signed registrations, the
+// re-registration storm after recovery, and the t90/survival probes are
+// all pinned down to the byte. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenE11 -update-golden
+const goldenE11Path = "testdata/golden_e11.txt"
+
+// goldenE11Matrix is the pinned miniature matrix: every scheme under
+// every standard fault profile at one small population.
+func goldenE11Matrix() ResilienceMatrix {
+	return ResilienceMatrix{
+		Populations: []int{40},
+		Schemes:     core.Schemes(),
+		Duration:    10 * time.Second,
+		Spec:        fleet.DefaultSpec(),
+	}
+}
+
+// goldenE11Options scale each run to 4 virtual seconds (not the 2s floor
+// the other goldens use): the recovery machinery needs room after the
+// outage window closes, so the multi-tier storm can actually converge
+// inside the pinned table.
+func goldenE11Options() Options {
+	return Options{Seed: 7, TimeScale: 0.4, Reps: 1, Parallel: 1}
+}
+
+func TestGoldenE11ByteIdentical(t *testing.T) {
+	tbl, err := E11Resilience(goldenE11Options(), goldenE11Matrix())
+	if err != nil {
+		t.Fatalf("E11Resilience: %v", err)
+	}
+	got := tbl.String() + "\n"
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenE11Path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenE11Path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenE11Path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenE11Path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("E11 output diverged from golden.\nFirst diff at byte %d.\ngot:\n%s\nwant:\n%s",
+			firstDiff(got, string(want)), got, want)
+	}
+}
+
+// TestGoldenE11ParallelMatches proves faulted runs are safe under the
+// job-level worker pool: the same matrix on many workers renders the
+// same bytes as sequential execution.
+func TestGoldenE11ParallelMatches(t *testing.T) {
+	opt := goldenE11Options()
+	seq, err := E11Resilience(opt, goldenE11Matrix())
+	if err != nil {
+		t.Fatalf("sequential E11: %v", err)
+	}
+	opt.Parallel = 8
+	par, err := E11Resilience(opt, goldenE11Matrix())
+	if err != nil {
+		t.Fatalf("parallel E11: %v", err)
+	}
+	if s, p := seq.String(), par.String(); s != p {
+		t.Fatalf("parallel E11 diverged from sequential at byte %d", firstDiff(s, p))
+	}
+}
+
+// TestGoldenE11ParallelMeasurementMatches proves the re-registration
+// storm is safe under the per-scenario parallel measurement phase: the
+// pinned matrix with measurement workers must equal the golden bytes.
+func TestGoldenE11ParallelMeasurementMatches(t *testing.T) {
+	want, err := os.ReadFile(goldenE11Path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	opt := goldenE11Options()
+	opt.MeasureWorkers = 4
+	tbl, err := E11Resilience(opt, goldenE11Matrix())
+	if err != nil {
+		t.Fatalf("E11Resilience: %v", err)
+	}
+	if got := tbl.String() + "\n"; got != string(want) {
+		t.Fatalf("parallel-measurement E11 diverged from golden at byte %d", firstDiff(got, string(want)))
+	}
+}
+
+// TestE11RecoveryConverges pins the ISSUE's acceptance criterion: after
+// a root outage on the multi-tier scheme, at least 90% of the MNs the
+// outage deregistered are re-registered again within the recovery
+// window, and the t90 sample records how long that took.
+func TestE11RecoveryConverges(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Scheme = core.SchemeMultiTier
+	cfg.NumMNs = 16
+	cfg.Duration = 20 * time.Second
+	cfg.AuthEnabled = true
+	cfg.Faults = &faults.Plan{
+		Outages: []faults.OutageSpec{{Tier: topology.TierRoot, Count: 1, Start: 0.3, Duration: 0.2}},
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := res.Registry
+	affected := reg.Counter("fault.recovery.affected").Value()
+	if affected == 0 {
+		t.Fatal("root outage deregistered no MNs")
+	}
+	recovered := reg.Counter("fault.recovery.recovered").Value()
+	if 10*recovered < 9*affected {
+		t.Fatalf("recovery converged %d of %d affected MNs, want >= 90%%", recovered, affected)
+	}
+	if reg.Sample("fault.recovery.t90_s").Count() == 0 {
+		t.Fatal("no t90 recovery sample recorded")
+	}
+}
+
+// TestE11RejectsBadMatrix exercises axis and profile validation: bad
+// populations fail via the shared ScaleSweep rules, and invalid fault
+// plans fail before any scenario runs.
+func TestE11RejectsBadMatrix(t *testing.T) {
+	base := goldenE11Matrix()
+	cases := map[string]func(*ResilienceMatrix){
+		"empty":        func(m *ResilienceMatrix) { m.Populations = nil },
+		"non-positive": func(m *ResilienceMatrix) { m.Populations = []int{0, 40} },
+		"unsorted":     func(m *ResilienceMatrix) { m.Populations = []int{80, 40} },
+		"no-schemes":   func(m *ResilienceMatrix) { m.Schemes = nil },
+		"no-duration":  func(m *ResilienceMatrix) { m.Duration = 0 },
+		"nil-plan":     func(m *ResilienceMatrix) { m.Profiles = []faults.NamedPlan{{Name: "x"}} },
+		"unnamed":      func(m *ResilienceMatrix) { m.Profiles = []faults.NamedPlan{{Plan: &faults.Plan{}}} },
+		"bad-plan": func(m *ResilienceMatrix) {
+			m.Profiles = []faults.NamedPlan{{Name: "bad", Plan: &faults.Plan{
+				Outages: []faults.OutageSpec{{Tier: topology.TierRoot, Count: 0, Start: 0.5, Duration: 0.1}},
+			}}}
+		},
+	}
+	for name, mutate := range cases {
+		m := base
+		mutate(&m)
+		if _, err := E11Resilience(goldenE11Options(), m); err == nil {
+			t.Errorf("%s matrix accepted", name)
+		}
+	}
+}

@@ -44,6 +44,7 @@ const (
 	DropAdmission                       // refused by QoS admission control
 	DropAuth                            // failed RSMC authentication
 	DropBSDown                          // base station failure injection
+	DropFault                           // flushed at a station forced down by fault injection
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +68,8 @@ func (r DropReason) String() string {
 		return "auth"
 	case DropBSDown:
 		return "bs-down"
+	case DropFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("drop(%d)", uint8(r))
 	}

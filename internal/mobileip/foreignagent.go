@@ -85,6 +85,15 @@ func (fa *ForeignAgent) Attach(home addr.IP, node *netsim.Node) {
 // Detach removes a visitor (it moved away or powered off).
 func (fa *ForeignAgent) Detach(home addr.IP) { delete(fa.visitors, home) }
 
+// OrphanVisitors wipes the visitor list — a crashed agent loses its
+// soft state, so recovered visitors must re-attach and re-register.
+// Returns how many visitors were orphaned.
+func (fa *ForeignAgent) OrphanVisitors() int {
+	n := len(fa.visitors)
+	clear(fa.visitors)
+	return n
+}
+
 // StartAdvertising beacons agent advertisements to every attached visitor
 // at the given interval (Fig 2.2 step 1a). Advertisements count as
 // signalling overhead.

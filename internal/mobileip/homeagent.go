@@ -1,9 +1,11 @@
 package mobileip
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/auth"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/packet"
@@ -39,6 +41,10 @@ type HomeAgent struct {
 	// whatever is requested.
 	maxLifetime time.Duration
 	generation  map[addr.IP]uint64 // expiry-sweep generation per binding
+	// auth, when armed, requires every registration to carry a fresh
+	// MHAE token inside authWindow of the HA's clock.
+	auth       *auth.Authenticator
+	authWindow time.Duration
 }
 
 var _ netsim.Handler = (*HomeAgent)(nil)
@@ -73,6 +79,45 @@ func (ha *HomeAgent) Prefix() addr.Prefix { return ha.prefix }
 
 // SetMaxLifetime caps granted registration lifetimes.
 func (ha *HomeAgent) SetMaxLifetime(d time.Duration) { ha.maxLifetime = d }
+
+// SetAuth arms MHAE verification: registrations without a token, with a
+// bad token, with a replayed nonce, or with a nonce older than window
+// are denied with CodeDeniedAuth and counted.
+func (ha *HomeAgent) SetAuth(a *auth.Authenticator, window time.Duration) {
+	ha.auth = a
+	ha.authWindow = window
+}
+
+// authorize verifies the request's MHAE extension. It returns true when
+// the registration may proceed.
+func (ha *HomeAgent) authorize(req *RegistrationRequest) bool {
+	if ha.auth == nil {
+		return true
+	}
+	if ha.stats != nil {
+		ha.stats.AuthChecks.Inc()
+	}
+	if !req.HasAuth {
+		return false
+	}
+	if ha.authWindow > 0 && req.Nonce+uint64(ha.authWindow) < uint64(ha.sched.Now()) {
+		// Timestamp outside the replay window: a recorded-and-replayed
+		// registration, per RFC 5944 §5.7.
+		if ha.stats != nil {
+			ha.stats.Replays.Inc()
+		}
+		return false
+	}
+	if err := ha.auth.VerifyFresh(req.Home, req.Nonce, req.Token[:]); err != nil {
+		if ha.stats != nil {
+			if errors.Is(err, auth.ErrReplay) {
+				ha.stats.Replays.Inc()
+			}
+		}
+		return false
+	}
+	return true
+}
 
 // AttachHome marks a mobile node as present on the home link.
 func (ha *HomeAgent) AttachHome(home addr.IP, node *netsim.Node) { ha.atHome[home] = node }
@@ -135,6 +180,8 @@ func (ha *HomeAgent) handleControl(pkt *packet.Packet) {
 		ID:       req.ID,
 	}
 	switch {
+	case !ha.authorize(req):
+		reply.Code = CodeDeniedAuth
 	case !ha.prefix.Contains(req.Home):
 		reply.Code = CodeDeniedUnknownHome
 	case ha.maxLifetime > 0 && req.Lifetime > ha.maxLifetime:

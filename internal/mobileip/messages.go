@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/auth"
 )
 
 // Message type tags on the wire.
@@ -66,19 +67,37 @@ type RegistrationRequest struct {
 	CareOf   addr.IP
 	Lifetime time.Duration
 	ID       uint64 // matches request to reply; also replay ordering
+	// HasAuth appends the MHAE-style authentication extension: a nonce
+	// (virtual-clock timestamp, replay ordering) plus an HMAC token over
+	// (home, nonce). Legacy 29-byte requests parse with HasAuth false.
+	HasAuth bool
+	Nonce   uint64
+	Token   [auth.TokenSize]byte
 }
 
-const regRequestSize = 1 + 4 + 4 + 4 + 8 + 8
+const (
+	regRequestSize     = 1 + 4 + 4 + 4 + 8 + 8
+	regRequestAuthSize = regRequestSize + 8 + auth.TokenSize
+)
 
-// Marshal renders the request to wire bytes.
+// Marshal renders the request to wire bytes (the authenticated form
+// carries 40 extra bytes — the per-message cost of MHAE).
 func (r *RegistrationRequest) Marshal() []byte {
-	b := make([]byte, regRequestSize)
+	size := regRequestSize
+	if r.HasAuth {
+		size = regRequestAuthSize
+	}
+	b := make([]byte, size)
 	b[0] = msgRegistrationRequest
 	binary.BigEndian.PutUint32(b[1:5], uint32(r.Home))
 	binary.BigEndian.PutUint32(b[5:9], uint32(r.HomeAg))
 	binary.BigEndian.PutUint32(b[9:13], uint32(r.CareOf))
 	binary.BigEndian.PutUint64(b[13:21], uint64(r.Lifetime))
 	binary.BigEndian.PutUint64(b[21:29], r.ID)
+	if r.HasAuth {
+		binary.BigEndian.PutUint64(b[29:37], r.Nonce)
+		copy(b[37:], r.Token[:])
+	}
 	return b
 }
 
@@ -144,16 +163,22 @@ func ParseMessage(b []byte) (Message, error) {
 	}
 	switch b[0] {
 	case msgRegistrationRequest:
-		if len(b) != regRequestSize {
+		if len(b) != regRequestSize && len(b) != regRequestAuthSize {
 			return nil, fmt.Errorf("%w: request %d bytes", ErrBadMessage, len(b))
 		}
-		return &RegistrationRequest{
+		req := &RegistrationRequest{
 			Home:     addr.IP(binary.BigEndian.Uint32(b[1:5])),
 			HomeAg:   addr.IP(binary.BigEndian.Uint32(b[5:9])),
 			CareOf:   addr.IP(binary.BigEndian.Uint32(b[9:13])),
 			Lifetime: time.Duration(binary.BigEndian.Uint64(b[13:21])),
 			ID:       binary.BigEndian.Uint64(b[21:29]),
-		}, nil
+		}
+		if len(b) == regRequestAuthSize {
+			req.HasAuth = true
+			req.Nonce = binary.BigEndian.Uint64(b[29:37])
+			copy(req.Token[:], b[37:])
+		}
+		return req, nil
 	case msgRegistrationReply:
 		if len(b) != regReplySize {
 			return nil, fmt.Errorf("%w: reply %d bytes", ErrBadMessage, len(b))

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/auth"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/packet"
@@ -18,6 +19,24 @@ type MNConfig struct {
 	RetryInterval time.Duration
 	// MaxRetries before a registration attempt is abandoned.
 	MaxRetries int
+	// RetryBackoff multiplies the retransmission interval after each
+	// attempt (capped exponential backoff); values <= 1 keep the legacy
+	// fixed interval.
+	RetryBackoff float64
+	// RetryCap bounds the backed-off interval; zero means uncapped.
+	RetryCap time.Duration
+	// RetryJitter spreads each retransmission interval by ±fraction,
+	// drawn from the rng installed with SetRand. Zero (or no rng) keeps
+	// the schedule exact — the default, so legacy runs draw nothing.
+	RetryJitter float64
+	// ReattemptInterval restarts a fresh registration round that long
+	// after MaxRetries is exhausted, instead of giving up for good —
+	// the recovery behaviour that rides out station outages. Zero keeps
+	// the legacy give-up.
+	ReattemptInterval time.Duration
+	// TrackExpiry arms lifetime-expiry accounting (one extra scheduled
+	// event per grant, so it stays off on the legacy path).
+	TrackExpiry bool
 	// AirDelay and AirLoss characterise the uplink to the serving agent.
 	AirDelay time.Duration
 	AirLoss  float64
@@ -43,15 +62,19 @@ type MobileNode struct {
 	cfg   MNConfig
 	sched *simtime.Scheduler
 	stats *Stats
+	rng   *simtime.Rand       // retry jitter stream; nil = exact schedule
+	auth  *auth.Authenticator // signs registrations when armed
 
-	current    *ForeignAgent // nil when at home / detached
-	registered bool
-	nextID     uint64
-	pendingID  uint64
-	sentAt     time.Duration
-	retries    int
-	retryEvt   simtime.Event
-	renewEvt   simtime.Event
+	current      *ForeignAgent // nil when at home / detached
+	registered   bool
+	nextID       uint64
+	pendingID    uint64
+	sentAt       time.Duration
+	retries      int
+	grantGen     uint64 // bumps per accepted grant; guards expiry events
+	retryEvt     simtime.Event
+	renewEvt     simtime.Event
+	reattemptEvt simtime.Event
 
 	// OnData is invoked for every data packet delivered to the node.
 	OnData func(p *packet.Packet)
@@ -84,6 +107,16 @@ func NewMobileNode(node *netsim.Node, home, ha addr.IP, cfg MNConfig, stats *Sta
 
 // Node returns the underlying network node.
 func (mn *MobileNode) Node() *netsim.Node { return mn.node }
+
+// SetRand installs the seeded stream retry jitter draws from. Without
+// it (the default) the retransmission schedule is exact and draw-free.
+func (mn *MobileNode) SetRand(r *simtime.Rand) { mn.rng = r }
+
+// SetAuth arms MHAE-style signing: every registration request carries a
+// nonce (virtual-clock timestamp) and an HMAC token the Home Agent
+// verifies. Registrations grow by the extension size — the per-message
+// authentication cost shows up in the signalling byte counters.
+func (mn *MobileNode) SetAuth(a *auth.Authenticator) { mn.auth = a }
 
 // Home returns the permanent home address.
 func (mn *MobileNode) Home() addr.IP { return mn.home }
@@ -141,6 +174,14 @@ func (mn *MobileNode) sendRegistration(careOf addr.IP, isRetry bool) {
 		Lifetime: mn.cfg.Lifetime,
 		ID:       mn.pendingID,
 	}
+	if mn.auth != nil {
+		// Fresh nonce per transmission: retransmissions re-sign with the
+		// current virtual clock so they stay monotone past a consumed
+		// nonce at the HA.
+		req.HasAuth = true
+		req.Nonce = uint64(mn.sched.Now())
+		copy(req.Token[:], mn.auth.Token(mn.home, req.Nonce))
+	}
 	if isRetry && mn.stats != nil {
 		mn.stats.Retries.Inc()
 	}
@@ -170,7 +211,28 @@ func (mn *MobileNode) sendRegistration(careOf addr.IP, isRetry bool) {
 		}
 		_ = mn.node.Network().DeliverDirect(mn.node, haNode, pkt, mn.cfg.AirDelay, mn.cfg.AirLoss)
 	}
-	mn.retryEvt = mn.sched.After(mn.cfg.RetryInterval, func() { mn.onRetryTimer(careOf) })
+	mn.retryEvt = mn.sched.AfterFIFO(mn.retryDelay(), func() { mn.onRetryTimer(careOf) })
+}
+
+// retryDelay computes the next retransmission timeout: the base interval,
+// backed off exponentially per prior retry (capped), spread by the seeded
+// jitter stream when one is installed. With the default config this is a
+// constant — the legacy fixed schedule, no draws.
+func (mn *MobileNode) retryDelay() time.Duration {
+	d := mn.cfg.RetryInterval
+	if mn.cfg.RetryBackoff > 1 {
+		for i := 0; i < mn.retries; i++ {
+			d = time.Duration(float64(d) * mn.cfg.RetryBackoff)
+			if mn.cfg.RetryCap > 0 && d >= mn.cfg.RetryCap {
+				d = mn.cfg.RetryCap
+				break
+			}
+		}
+	}
+	if mn.cfg.RetryJitter > 0 && mn.rng != nil {
+		d = time.Duration(float64(d) * (1 + mn.rng.Uniform(-mn.cfg.RetryJitter, mn.cfg.RetryJitter)))
+	}
+	return d
 }
 
 func (mn *MobileNode) onRetryTimer(careOf addr.IP) {
@@ -178,8 +240,17 @@ func (mn *MobileNode) onRetryTimer(careOf addr.IP) {
 		return
 	}
 	if mn.retries >= mn.cfg.MaxRetries {
+		if mn.stats != nil {
+			mn.stats.RetryExhausted.Inc()
+		}
 		if mn.OnRegistrationFailed != nil {
 			mn.OnRegistrationFailed()
+		}
+		if mn.cfg.ReattemptInterval > 0 {
+			// Back off to the reattempt cadence instead of giving up: a
+			// downed agent eventually recovers, and this is the line that
+			// re-registers through it when it does.
+			mn.reattemptEvt = mn.sched.AfterFIFO(mn.cfg.ReattemptInterval, func() { mn.reattempt(careOf) })
 		}
 		return
 	}
@@ -187,9 +258,34 @@ func (mn *MobileNode) onRetryTimer(careOf addr.IP) {
 	mn.sendRegistration(careOf, true)
 }
 
+func (mn *MobileNode) reattempt(careOf addr.IP) {
+	if mn.registered {
+		return
+	}
+	if mn.current != nil {
+		mn.Reregister()
+		return
+	}
+	mn.startRegistration(careOf)
+}
+
+// Reregister re-attaches to the current agent and starts a fresh
+// registration round. It is the recovery entry point after the serving
+// agent restarts — its visitor list was wiped, so registering without
+// re-attaching would leave downlink packets dropping as stale forever.
+func (mn *MobileNode) Reregister() {
+	if mn.current == nil {
+		return
+	}
+	mn.registered = false
+	mn.current.Attach(mn.home, mn.node)
+	mn.startRegistration(mn.current.CareOf())
+}
+
 func (mn *MobileNode) cancelTimers() {
 	mn.retryEvt.Cancel()
 	mn.renewEvt.Cancel()
+	mn.reattemptEvt.Cancel()
 }
 
 // Receive implements netsim.Handler: data packets go to OnData,
@@ -236,6 +332,19 @@ func (mn *MobileNode) Receive(pkt *packet.Packet, from *netsim.Node, link *netsi
 				mn.startRegistration(reply.CareOf)
 			}
 		})
+		if mn.cfg.TrackExpiry {
+			// Count grants that lapse without a newer accepted grant — the
+			// binding expired at the HA while the renewal was lost or the
+			// agent was down. Any later accept bumps grantGen and voids
+			// this probe.
+			mn.grantGen++
+			gen := mn.grantGen
+			mn.sched.AfterFIFO(reply.Lifetime, func() {
+				if gen == mn.grantGen && !mn.registered && mn.stats != nil {
+					mn.stats.Expired.Inc()
+				}
+			})
+		}
 	}
 }
 

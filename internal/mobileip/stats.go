@@ -24,6 +24,17 @@ type Stats struct {
 	// StaleAtFA counts tunnelled packets arriving at a Foreign Agent
 	// after the visitor left — Mobile IP's handoff loss.
 	StaleAtFA *metrics.Counter
+	// RetryExhausted counts registration rounds abandoned after
+	// MaxRetries retransmissions without a reply.
+	RetryExhausted *metrics.Counter
+	// Expired counts granted registrations that lapsed at the HA without
+	// a renewed grant (lost renewal or downed agent).
+	Expired *metrics.Counter
+	// Replays counts registrations the HA rejected as replayed or stale
+	// (timestamp window / non-fresh nonce).
+	Replays *metrics.Counter
+	// AuthChecks counts registrations the HA verified MHAE tokens on.
+	AuthChecks *metrics.Counter
 }
 
 // NewStats wires stats into a registry under the "mip." prefix. A nil
@@ -41,5 +52,9 @@ func NewStats(reg *metrics.Registry) *Stats {
 		Intercepts:          reg.Counter("mip.ha.intercepts"),
 		TunnelOverheadBytes: reg.Counter("mip.tunnel.overhead_bytes"),
 		StaleAtFA:           reg.Counter("mip.fa.stale_packets"),
+		RetryExhausted:      reg.Counter("mip.registration.retry_exhausted"),
+		Expired:             reg.Counter("mip.registration.expired"),
+		Replays:             reg.Counter("mip.registration.replays"),
+		AuthChecks:          reg.Counter("mip.ha.auth_checks"),
 	}
 }

@@ -81,6 +81,11 @@ func (d *Directory) SetDomainAuth(domain int, a *auth.Authenticator) { d.auths[d
 // is disabled for the domain.
 func (d *Directory) DomainAuth(domain int) *auth.Authenticator { return d.auths[domain] }
 
+// ErrFaulted reports an operation refused because the responsible
+// station is down under fault injection. Handoff admission counts these
+// as shed_fault, distinct from policy/auth sheds.
+var ErrFaulted = errors.New("multitier: station faulted")
+
 // Controller is the RSMC hook a domain-head station consults (§4): it
 // authenticates arriving MNs and tracks domain membership. Implemented in
 // the rsmc package; defined here to avoid an import cycle.

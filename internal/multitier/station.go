@@ -1,10 +1,12 @@
 package multitier
 
 import (
+	"errors"
 	"sort"
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/auth"
 	"repro/internal/metrics"
 	"repro/internal/mobileip"
 	"repro/internal/netsim"
@@ -66,6 +68,7 @@ type Station struct {
 	regState   map[addr.IP]*anchorReg
 	regSeq     uint64
 	regLife    time.Duration
+	anchorAuth *auth.Authenticator // signs anchor registrations when armed
 
 	// peakUtil is the highest channel occupancy this cell ever reached —
 	// the per-cell utilization figure the capacity experiments read.
@@ -160,6 +163,84 @@ func (s *Station) MakeAnchor(anchorAddr addr.IP) *netsim.StaticRouter {
 // anchor).
 func (s *Station) AnchorAddr() addr.IP { return s.anchorAddr }
 
+// SetAnchorAuth arms MHAE signing of the root's anchor registrations
+// with the Home Agents (the same extension mobile nodes use in the flat
+// Mobile IP scheme).
+func (s *Station) SetAnchorAuth(a *auth.Authenticator) { s.anchorAuth = a }
+
+// SetAirLoss changes the station's air-interface loss probability
+// (fault injection: regional radio fade).
+func (s *Station) SetAirLoss(p float64) { s.cfg.AirLoss = p }
+
+// Fail forces the station down (fault injection). Arrivals start dying
+// at the netsim layer as reason-coded bs-down drops; this method disposes
+// of the soft state a crash loses, deterministically:
+//   - switch buffers are flushed, every packet Released through a
+//     reason-coded fault drop (no pool leaks);
+//   - admitted sessions are released and attached MNs detached;
+//   - a root's anchor registrations are wiped, so every served MN must
+//     be re-registered with its Home Agent after recovery — the mass
+//     re-registration storm E11 measures.
+//
+// Cell tables are left to their TTLs: peers' records pointing at the
+// dead station age out exactly like the paper's soft-state tables.
+func (s *Station) Fail() {
+	if s.node.Down() {
+		return
+	}
+	s.node.SetDown(true)
+	// Flush in sorted key order: the drop observer and packet pool see a
+	// deterministic sequence regardless of map layout.
+	mns := make([]addr.IP, 0, len(s.forwards))
+	for mn := range s.forwards {
+		mns = append(mns, mn)
+	}
+	sort.Slice(mns, func(i, j int) bool { return mns[i] < mns[j] })
+	for _, mn := range mns {
+		fr := s.forwards[mn]
+		fr.drainEvt.Cancel()
+		fr.buf.Drain(func(p *packet.Packet) { s.dropFault(p) })
+		delete(s.forwards, mn)
+	}
+	mns = mns[:0]
+	for mn := range s.sessions {
+		mns = append(mns, mn)
+	}
+	sort.Slice(mns, func(i, j int) bool { return mns[i] < mns[j] })
+	for _, mn := range mns {
+		s.ReleaseSession(mn)
+	}
+	mns = mns[:0]
+	for mn := range s.attached {
+		mns = append(mns, mn)
+	}
+	sort.Slice(mns, func(i, j int) bool { return mns[i] < mns[j] })
+	for _, mn := range mns {
+		s.DetachMN(mn)
+	}
+	if n := len(s.regState); n > 0 {
+		if s.stats != nil {
+			s.stats.FaultDeregs.Add(uint64(n))
+		}
+		clear(s.regState)
+	}
+}
+
+// Recover brings a failed station back up. Lost soft state is NOT
+// restored: MNs re-attach and re-register through the normal protocol
+// machinery, and a root re-acquires its HA bindings as location
+// refreshes arrive — recovery is measured, not assumed.
+func (s *Station) Recover() { s.node.SetDown(false) }
+
+// dropFault disposes of one buffered packet at a failing station: the
+// network observer accounts it as a fault drop and releases it.
+func (s *Station) dropFault(p *packet.Packet) {
+	if s.stats != nil {
+		s.stats.FaultDrops.Inc()
+	}
+	s.node.Network().Drop(s.node, p, metrics.DropFault)
+}
+
 // AttachMN associates an MN with this station's air interface. The MN
 // object calls this at handoff commit.
 func (s *Station) AttachMN(mn addr.IP, node *netsim.Node) {
@@ -183,9 +264,11 @@ func (s *Station) HasMN(mn addr.IP) bool {
 	return ok
 }
 
-// CanAdmit probes admission without side effects (decision factor 3).
+// CanAdmit probes admission without side effects (decision factor 3). A
+// downed station admits nothing, which is what steers measuring MNs
+// toward surviving cells during an outage.
 func (s *Station) CanAdmit(bps float64, handoff bool) bool {
-	return s.resources.CanAdmit(qos.Request{BPS: bps, Handoff: handoff})
+	return !s.node.Down() && s.resources.CanAdmit(qos.Request{BPS: bps, Handoff: handoff})
 }
 
 // ReleaseSession frees the MN's admitted resources, if any.
@@ -529,8 +612,13 @@ func (s *Station) handleHandoffRequest(m *HandoffRequest, airFrom *netsim.Node) 
 		if err := s.controller.Authorize(m.MN, m.Nonce, m.Token[:]); err != nil {
 			authOK = false
 			if s.stats != nil {
-				s.stats.AuthFailures.Inc()
-				s.stats.ShedPolicy.Inc()
+				if errors.Is(err, ErrFaulted) {
+					// The domain head is down: shed by fault, not policy.
+					s.stats.ShedFault.Inc()
+				} else {
+					s.stats.AuthFailures.Inc()
+					s.stats.ShedPolicy.Inc()
+				}
 			}
 		}
 	}
@@ -807,6 +895,11 @@ func (s *Station) maybeRegisterAnchor(mn addr.IP) {
 		CareOf:   s.anchorAddr,
 		Lifetime: s.regLife,
 		ID:       id,
+	}
+	if s.anchorAuth != nil {
+		req.HasAuth = true
+		req.Nonce = uint64(s.sched.Now())
+		copy(req.Token[:], s.anchorAuth.Token(mn, req.Nonce))
 	}
 	out := packet.NewControl(s.node.Addr(), prof.HomeAgent, packet.ProtoMobileIP, req.Marshal())
 	if s.stats != nil {

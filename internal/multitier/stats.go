@@ -64,6 +64,15 @@ type Stats struct {
 	// ShedPolicy counts requests refused by policy rather than raw
 	// capacity: RSMC authentication failures.
 	ShedPolicy *metrics.Counter
+	// ShedFault counts requests refused because the domain's RSMC head
+	// was down under fault injection — degradation, not policy.
+	ShedFault *metrics.Counter
+	// FaultDrops counts buffered packets flushed (reason-coded
+	// metrics.DropFault) when a station was forced down.
+	FaultDrops *metrics.Counter
+	// FaultDeregs counts anchor registrations a failing root wiped —
+	// each one is an MN the recovery storm must re-register.
+	FaultDeregs *metrics.Counter
 	// TierOccupancy streams per-tier channel occupancy: each station
 	// observes its utilization after every admission grant and session
 	// release, so the sample's mean/max describe how loaded a tier ran
@@ -141,6 +150,9 @@ func NewStats(reg *metrics.Registry) *Stats {
 		Admitted:            reg.Counter("tier.admission.admitted"),
 		ShedCapacity:        reg.Counter("tier.admission.shed_capacity"),
 		ShedPolicy:          reg.Counter("tier.admission.shed_policy"),
+		ShedFault:           reg.Counter("tier.admission.shed_fault"),
+		FaultDrops:          reg.Counter("tier.fault.drops"),
+		FaultDeregs:         reg.Counter("tier.fault.deregistrations"),
 		TierOccupancy:       occ,
 	}
 }

@@ -68,6 +68,11 @@ func (l *Link) Config() LinkConfig { return l.cfg }
 // SetLoss changes the link's loss probability (failure injection).
 func (l *Link) SetLoss(p float64) { l.cfg.Loss = p }
 
+// SetDelay changes the link's propagation delay (failure injection:
+// backbone latency degradation). Packets already in flight keep the
+// delay they were sent with.
+func (l *Link) SetDelay(d time.Duration) { l.cfg.Delay = d }
+
 // SetDown marks the link failed. Packets already in flight still arrive;
 // new sends fail.
 func (l *Link) SetDown(down bool) { l.down = down }

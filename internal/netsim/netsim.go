@@ -158,6 +158,14 @@ func (n *Network) Nodes() []*Node {
 	return out
 }
 
+// Links returns all wired links in creation order. The slice is a copy;
+// fault injection indexes into it to pick degradation targets.
+func (n *Network) Links() []*Link {
+	out := make([]*Link, len(n.links))
+	copy(out, n.links)
+	return out
+}
+
 // NodeByAddr returns the node owning ip, or nil.
 func (n *Network) NodeByAddr(ip addr.IP) *Node { return n.byAddr[ip] }
 

@@ -97,6 +97,11 @@ func (r *RSMC) Authorize(mn addr.IP, nonce uint64, token []byte) error {
 	if r.stats != nil {
 		r.stats.Operations.Inc()
 	}
+	if r.station.Node().Down() {
+		// The domain head is failed: nobody can vouch for the MN. The
+		// admitting station counts this as shed_fault, not a policy shed.
+		return fmt.Errorf("%w: domain %d head down", multitier.ErrFaulted, r.domain)
+	}
 	if r.auth == nil {
 		return nil
 	}
