@@ -28,6 +28,7 @@
 //	mmscale -dimension -rootocc                 # per-root occupancy column (load balance)
 //	mmscale -faults                             # E11: resilience matrix, all fault profiles
 //	mmscale -faults -faultprofiles root-outage  # one fault profile
+//	mmscale -faults -trace -sample 250ms -traceout traces/  # one JSONL trace per scenario
 package main
 
 import (
@@ -44,6 +45,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -74,6 +76,9 @@ func run(args []string) error {
 		density    = fs.String("density", string(capacity.DensityUrban), "dimensioning density preset (sparse|urban|dense)")
 		headroom   = fs.Float64("headroom", capacity.DefaultHeadroom, "dimensioning capacity headroom factor (>= 1)")
 		memstats   = fs.Bool("memstats", false, "print heap statistics after the sweep")
+		trace      = fs.Bool("trace", false, "record a deterministic event trace of every scenario (replication 0)")
+		sample     = fs.Duration("sample", 0, "with -trace, time-series sampling cadence (0 = events only)")
+		traceout   = fs.String("traceout", "traces", "with -trace, directory receiving one JSONL trace per scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +100,10 @@ func run(args []string) error {
 	}
 	opt := experiments.Options{Seed: *seed, TimeScale: *scale, Reps: *reps, Parallel: *parallel,
 		MeasureWorkers: mw}
+	if *trace {
+		opt.Obs = &obs.Config{SampleInterval: *sample, PacketSampleEvery: 64}
+		opt.TraceDir = *traceout
+	}
 	if err := opt.Validate(); err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 //	mmsim -scheme multitier-rsmc -mns 8 -speed 15 -duration 2m -video
 //	mmsim -reps 8 -parallel 4 -seed 42
 //	mmsim -mns 500 -fleet pedestrian-voice=60,vehicular-video=25,stationary-data=15
+//	mmsim -trace -sample 500ms -traceout run.jsonl   # deterministic trace + time series
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/topology"
 )
@@ -52,6 +54,9 @@ func run(args []string) error {
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "replication workers")
 		fleetArg  = fs.String("fleet", "", "heterogeneous population mix as name=share,... (overrides -mobility/-speed/-voice/-video/-data-interval)")
 		arena     = fs.Bool("arena", false, "per-scenario packet arena instead of the global pool (scale runs)")
+		trace     = fs.Bool("trace", false, "record a deterministic event trace of the run")
+		sample    = fs.Duration("sample", 0, "with -trace, time-series sampling cadence (0 = events only)")
+		traceout  = fs.String("traceout", "trace.jsonl", "with -trace, JSONL trace output path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,8 +93,14 @@ func run(args []string) error {
 		}
 		cfg.Fleet = &spec
 	}
+	if *trace {
+		cfg.Obs = &obs.Config{
+			SampleInterval:    *sample,
+			PacketSampleEvery: defaultPacketSampleEvery,
+		}
+	}
 	if *reps > 1 {
-		return runReplicated(cfg, *reps, *parallel, *full)
+		return runReplicated(cfg, *reps, *parallel, *full, *traceout)
 	}
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -102,13 +113,45 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Print(res.Registry.Render())
 	}
+	return writeTrace(res, *traceout)
+}
+
+// defaultPacketSampleEvery traces every Nth generated data packet's
+// lifecycle: dense enough to reconstruct loss windows, sparse enough
+// that packet events do not dominate the trace.
+const defaultPacketSampleEvery = 64
+
+// writeTrace exports a traced run to path and reports the trace shape
+// (plus the measured measure/decide wall-clock split, which lives only
+// on stderr — it is host-dependent and excluded from the trace bytes).
+func writeTrace(res *core.Result, path string) error {
+	tr := res.Trace
+	if tr == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteJSONL(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	fmt.Fprintf(os.Stderr, "mmsim: trace %s: %d events (%d dropped), %d samples, measure=%v decide=%v\n",
+		path, len(tr.Events()), tr.Dropped(), tr.Samples(),
+		time.Duration(tr.Wall.MeasureNS).Round(time.Microsecond),
+		time.Duration(tr.Wall.DecideNS).Round(time.Microsecond))
 	return nil
 }
 
 // runReplicated executes the scenario reps times through the worker pool
 // (the configured seed becomes the runner's base seed) and prints each
 // replication plus the aggregate.
-func runReplicated(cfg core.Config, reps, parallel int, full bool) error {
+func runReplicated(cfg core.Config, reps, parallel int, full bool, traceout string) error {
 	base := cfg.Seed
 	// Paired so replication 0 runs on the base seed itself: -reps N
 	// always contains the plain -seed run and adds error bars to it.
@@ -138,6 +181,10 @@ func runReplicated(cfg core.Config, reps, parallel int, full bool) error {
 	if full {
 		fmt.Printf("\nmetrics (rep 0, seed %d):\n", r.Seeds[0])
 		fmt.Print(r.Runs[0].Registry.Render())
+	}
+	// Replicated traced runs export replication 0 (the base-seed run).
+	if first := r.First(); first != nil {
+		return writeTrace(first, traceout)
 	}
 	return nil
 }

@@ -1,0 +1,322 @@
+// Command mmtrace summarises and compares deterministic simulation
+// traces (the JSONL files cmd/mmsim -trace and cmd/mmscale -trace
+// write). The summary reports event counts, span latency percentiles
+// (registration accept, handoff commit, handoff-to-first-data, fault
+// recovery), the injected fault windows, the session-survival recovery
+// curve and every sampled time series. With -diff it aligns two traces
+// and reports what moved; with -chrome it converts a trace to the
+// Chrome trace-event format (load via chrome://tracing or Perfetto).
+//
+// Example:
+//
+//	mmtrace run.jsonl
+//	mmtrace -timeline run.jsonl             # chronological handoff/fault timeline
+//	mmtrace -diff before.jsonl after.jsonl
+//	mmtrace -chrome out.json run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmtrace", flag.ContinueOnError)
+	var (
+		diff     = fs.Bool("diff", false, "compare two traces: mmtrace -diff a.jsonl b.jsonl")
+		chrome   = fs.String("chrome", "", "convert the trace to Chrome trace-event JSON at this path")
+		timeline = fs.Bool("timeline", false, "print the chronological handoff and fault timeline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	switch {
+	case *diff:
+		if len(paths) != 2 {
+			return fmt.Errorf("-diff needs exactly two trace files, got %d", len(paths))
+		}
+		a, err := load(paths[0])
+		if err != nil {
+			return err
+		}
+		b, err := load(paths[1])
+		if err != nil {
+			return err
+		}
+		printDiff(out, paths[0], paths[1], a, b)
+		return nil
+	case len(paths) != 1:
+		return fmt.Errorf("need exactly one trace file, got %d", len(paths))
+	}
+	tr, err := load(paths[0])
+	if err != nil {
+		return err
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		werr := tr.WriteChrome(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(out, "wrote %s (%d events, %d series)\n", *chrome, len(tr.Events()), len(tr.AllSeries()))
+		return nil
+	}
+	printSummary(out, tr)
+	if *timeline {
+		printTimeline(out, tr)
+	}
+	return nil
+}
+
+func load(path string) (*obs.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := obs.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// spanFamilies maps the event kinds whose Val field carries a span
+// duration in nanoseconds to a display label. Percentiles are computed
+// straight from these values: the emitting site already measured the
+// span against virtual time.
+var spanFamilies = []struct {
+	kind  obs.Kind
+	label string
+}{
+	{obs.KindRegAccept, "registration latency"},
+	{obs.KindHandoffCommit, "handoff commit latency"},
+	{obs.KindHandoffFirstData, "handoff -> first data"},
+	{obs.KindRecoveryT90, "fault recovery (t90)"},
+}
+
+// spans collects the span durations of one family, in emission order.
+func spans(tr *obs.Trace, kind obs.Kind) []time.Duration {
+	var out []time.Duration
+	for _, e := range tr.Events() {
+		if e.Kind == kind {
+			out = append(out, time.Duration(e.Val))
+		}
+	}
+	return out
+}
+
+// percentile returns the q-quantile of vals by the nearest-rank method
+// (deterministic, no interpolation). vals must be sorted ascending.
+func percentile(vals []time.Duration, q float64) time.Duration {
+	if len(vals) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(vals))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}
+
+func printSummary(out io.Writer, tr *obs.Trace) {
+	m := tr.Meta
+	fmt.Fprintf(out, "trace: scheme=%s seed=%d mns=%d duration=%v\n", m.Scheme, m.Seed, m.MNs, m.Duration)
+	fmt.Fprintf(out, "  %d events (%d dropped), %d sampling rounds, %d series\n",
+		len(tr.Events()), tr.Dropped(), tr.Samples(), len(tr.AllSeries()))
+
+	counts := make(map[obs.Kind]int)
+	for _, e := range tr.Events() {
+		counts[e.Kind]++
+	}
+	fmt.Fprintln(out, "\nevent counts:")
+	for _, k := range obs.Kinds() {
+		if counts[k] > 0 {
+			fmt.Fprintf(out, "  %-20s %d\n", k, counts[k])
+		}
+	}
+
+	if n, a := counts[obs.KindRegRetry], counts[obs.KindRegAttempt]; a > 0 {
+		fmt.Fprintf(out, "\nregistration: %d attempts, %d retries (%.2f per attempt), %d exhausted, %d expired\n",
+			a, n, float64(n)/float64(a), counts[obs.KindRegExhausted], counts[obs.KindRegExpire])
+	}
+
+	fmt.Fprintln(out, "\nspan latencies:")
+	for _, fam := range spanFamilies {
+		vals := spans(tr, fam.kind)
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		fmt.Fprintf(out, "  %-22s n=%-5d p50=%-10v p90=%-10v p99=%-10v max=%v\n",
+			fam.label, len(vals),
+			percentile(vals, 0.50), percentile(vals, 0.90),
+			percentile(vals, 0.99), vals[len(vals)-1])
+	}
+
+	printRecovery(out, tr)
+
+	if series := tr.AllSeries(); len(series) > 0 {
+		fmt.Fprintln(out, "\nseries:")
+		for _, s := range series {
+			if len(s.Val) == 0 {
+				fmt.Fprintf(out, "  %-26s (no samples)\n", s.Name)
+				continue
+			}
+			min, max, sum := s.Val[0], s.Val[0], 0.0
+			for _, v := range s.Val {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+				sum += v
+			}
+			fmt.Fprintf(out, "  %-26s n=%-4d min=%-12.4g mean=%-12.4g max=%-12.4g last=%.4g\n",
+				s.Name, len(s.Val), min, sum/float64(len(s.Val)), max, s.Val[len(s.Val)-1])
+		}
+	}
+}
+
+// printRecovery renders the session-survival recovery curve: the
+// registered fraction's dip under each fault window and when it came
+// back. Only changes print, so a flat curve stays one line.
+func printRecovery(out io.Writer, tr *obs.Trace) {
+	s := findSeries(tr, "session.registered_frac")
+	if s == nil || len(s.Val) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "\nrecovery curve (session.registered_frac):")
+	prev := s.Val[0]
+	fmt.Fprintf(out, "  %-10v %.4f\n", s.At[0], prev)
+	for i := 1; i < len(s.Val); i++ {
+		if s.Val[i] != prev {
+			prev = s.Val[i]
+			fmt.Fprintf(out, "  %-10v %.4f\n", s.At[i], prev)
+		}
+	}
+}
+
+func findSeries(tr *obs.Trace, name string) *obs.Series {
+	for _, s := range tr.AllSeries() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// printTimeline renders handoff and fault events chronologically (they
+// are already stored in emission = virtual-time order).
+func printTimeline(out io.Writer, tr *obs.Trace) {
+	fmt.Fprintln(out, "\ntimeline (handoff + fault events):")
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.KindHandoffTrigger, obs.KindHandoffRequest, obs.KindHandoffDetach,
+			obs.KindHandoffCommit, obs.KindHandoffFirstData, obs.KindRouteUpdate,
+			obs.KindFaultStationDown, obs.KindFaultStationUp,
+			obs.KindFaultLinkDegrade, obs.KindFaultLinkRestore,
+			obs.KindFaultFadeStart, obs.KindFaultFadeEnd, obs.KindRecoveryT90:
+			fmt.Fprintf(out, "  %-12v %-20s actor=%-4d cell=%-4d aux=%-4d val=%d\n",
+				e.At, e.Kind, e.Actor, e.Cell, e.Aux, e.Val)
+		}
+	}
+}
+
+// printDiff aligns two traces and reports event-count deltas, span
+// percentile shifts and series mean shifts.
+func printDiff(out io.Writer, pathA, pathB string, a, b *obs.Trace) {
+	fmt.Fprintf(out, "diff: A=%s (scheme=%s seed=%d)  B=%s (scheme=%s seed=%d)\n",
+		pathA, a.Meta.Scheme, a.Meta.Seed, pathB, b.Meta.Scheme, b.Meta.Seed)
+	fmt.Fprintf(out, "  events: A=%d B=%d (%+d)   samples: A=%d B=%d\n",
+		len(a.Events()), len(b.Events()), len(b.Events())-len(a.Events()),
+		a.Samples(), b.Samples())
+
+	ca, cb := make(map[obs.Kind]int), make(map[obs.Kind]int)
+	for _, e := range a.Events() {
+		ca[e.Kind]++
+	}
+	for _, e := range b.Events() {
+		cb[e.Kind]++
+	}
+	fmt.Fprintln(out, "\nevent counts (A -> B):")
+	for _, k := range obs.Kinds() {
+		if ca[k] == 0 && cb[k] == 0 {
+			continue
+		}
+		marker := ""
+		if ca[k] != cb[k] {
+			marker = "  *"
+		}
+		fmt.Fprintf(out, "  %-20s %6d -> %-6d (%+d)%s\n", k, ca[k], cb[k], cb[k]-ca[k], marker)
+	}
+
+	fmt.Fprintln(out, "\nspan latencies (A -> B):")
+	for _, fam := range spanFamilies {
+		va, vb := spans(a, fam.kind), spans(b, fam.kind)
+		if len(va) == 0 && len(vb) == 0 {
+			continue
+		}
+		sort.Slice(va, func(i, j int) bool { return va[i] < va[j] })
+		sort.Slice(vb, func(i, j int) bool { return vb[i] < vb[j] })
+		fmt.Fprintf(out, "  %-22s p50 %v -> %v   p99 %v -> %v\n",
+			fam.label,
+			percentile(va, 0.50), percentile(vb, 0.50),
+			percentile(va, 0.99), percentile(vb, 0.99))
+	}
+
+	fmt.Fprintln(out, "\nseries means (A -> B):")
+	seen := make(map[string]bool)
+	for _, s := range append(append([]*obs.Series{}, a.AllSeries()...), b.AllSeries()...) {
+		if seen[s.Name] {
+			continue
+		}
+		seen[s.Name] = true
+		ma, oka := seriesMean(findSeries(a, s.Name))
+		mb, okb := seriesMean(findSeries(b, s.Name))
+		switch {
+		case oka && okb:
+			fmt.Fprintf(out, "  %-26s %.4g -> %.4g\n", s.Name, ma, mb)
+		case oka:
+			fmt.Fprintf(out, "  %-26s %.4g -> (absent)\n", s.Name, ma)
+		case okb:
+			fmt.Fprintf(out, "  %-26s (absent) -> %.4g\n", s.Name, mb)
+		}
+	}
+}
+
+func seriesMean(s *obs.Series) (float64, bool) {
+	if s == nil || len(s.Val) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, v := range s.Val {
+		sum += v
+	}
+	return sum / float64(len(s.Val)), true
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// goldenTrace is the pinned trace the experiments package commits; the
+// tool's tests ride the same artifact so they exercise real span and
+// series shapes without running a simulation.
+const goldenTrace = "../../internal/experiments/testdata/golden_trace.jsonl"
+
+func TestSummaryOnGoldenTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{goldenTrace}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"scheme=multitier-rsmc",
+		"event counts:",
+		"handoff.trigger",
+		"span latencies:",
+		"handoff -> first data",
+		"fault recovery (t90)",
+		"recovery curve (session.registered_frac):",
+		"series:",
+		"sched.heap_depth",
+		"mip.auth.cpu_ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineOnGoldenTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-timeline", goldenTrace}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "timeline (handoff + fault events):") {
+		t.Fatalf("no timeline section:\n%s", out)
+	}
+	if !strings.Contains(out, "fault.station_down") || !strings.Contains(out, "fault.station_up") {
+		t.Errorf("timeline missing the fault window:\n%s", out)
+	}
+}
+
+func TestDiffSelfIsNeutral(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-diff", goldenTrace, goldenTrace}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(+0)") {
+		t.Errorf("self-diff should show zero deltas:\n%s", out)
+	}
+	// No count may move when a trace is diffed against itself.
+	if strings.Contains(out, "*") {
+		t.Errorf("self-diff flagged a changed count:\n%s", out)
+	}
+}
+
+func TestChromeConversionIsValidJSON(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "trace.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-chrome", outPath, goldenTrace}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(raw, &records); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v", err)
+	}
+	if len(records) == 0 {
+		t.Fatal("chrome output is empty")
+	}
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no file
+		{"a.jsonl", "b.jsonl"},              // two files without -diff
+		{"-diff", goldenTrace},              // -diff with one file
+		{filepath.Join(t.TempDir(), "x.j")}, // missing file
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	vals := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 5}, {0.90, 9}, {0.99, 10}, {1.0, 10},
+	}
+	for _, c := range cases {
+		if got := percentile(vals, c.q); got != c.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+}
+
+func TestSpansReadValField(t *testing.T) {
+	tr := obs.New(obs.Config{Capacity: 8})
+	tr.Emit(1, obs.KindHandoffCommit, 0, 1, 0, int64(5*time.Millisecond))
+	tr.Emit(2, obs.KindHandoffCommit, 1, 2, 0, int64(7*time.Millisecond))
+	tr.Emit(3, obs.KindRegAccept, 0, -1, 0, int64(time.Millisecond))
+	got := spans(tr, obs.KindHandoffCommit)
+	if len(got) != 2 || got[0] != 5*time.Millisecond || got[1] != 7*time.Millisecond {
+		t.Errorf("spans = %v", got)
+	}
+}

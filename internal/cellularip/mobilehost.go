@@ -4,6 +4,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 )
@@ -88,6 +89,10 @@ type MobileHost struct {
 	// OnLocationSignal is told about every route/paging update this host
 	// originates — the per-profile signalling attribution hook.
 	OnLocationSignal func()
+
+	// trace receives handoff/route-update events when armed; nil is inert.
+	trace      *obs.Trace
+	traceActor int32
 }
 
 var _ netsim.Handler = (*MobileHost)(nil)
@@ -112,6 +117,13 @@ func NewMobileHost(node *netsim.Node, ip addr.IP, cfg Config, stats *Stats) *Mob
 	return h
 }
 
+// SetTrace arms handoff and route-update trace emission attributed to
+// the given actor index. A nil trace stays inert.
+func (h *MobileHost) SetTrace(tr *obs.Trace, actor int32) {
+	h.trace = tr
+	h.traceActor = actor
+}
+
 // Node returns the underlying network node.
 func (h *MobileHost) Node() *netsim.Node { return h.node }
 
@@ -134,6 +146,7 @@ func (h *MobileHost) AttachHard(bs *BaseStation) {
 	h.abortSemisoft()
 	if h.bs != nil {
 		h.bs.DetachHost(h.ip)
+		h.trace.Emit(h.sched.Now(), obs.KindHandoffDetach, h.traceActor, -1, 0, 0)
 		if h.stats != nil {
 			h.stats.Handoffs.Inc()
 		}
@@ -250,10 +263,16 @@ func (h *MobileHost) goActive() {
 }
 
 func (h *MobileHost) sendRouteUpdate(semisoft bool) {
+	var aux int32
+	if semisoft {
+		aux = 1
+	}
+	h.trace.Emit(h.sched.Now(), obs.KindRouteUpdate, h.traceActor, -1, aux, 0)
 	h.sendControl(&RouteUpdate{Host: h.ip, Seq: h.nextSeq(), Semisoft: semisoft}, h.bs)
 }
 
 func (h *MobileHost) sendSemisoftUpdate() {
+	h.trace.Emit(h.sched.Now(), obs.KindRouteUpdate, h.traceActor, -1, 1, 0)
 	h.sendControl(&RouteUpdate{Host: h.ip, Seq: h.nextSeq(), Semisoft: true}, h.bs)
 }
 

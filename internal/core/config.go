@@ -23,6 +23,7 @@ import (
 	"repro/internal/capacity"
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -170,6 +171,22 @@ type Config struct {
 	// the default path is byte-identical with or without this field
 	// present.
 	Faults *faults.Plan
+	// Obs optionally arms the deterministic observability layer: protocol
+	// lifecycle trace events, sim-time-cadenced time-series sampling of
+	// engine/protocol gauges, and sampled packet lifecycles, all exported
+	// through Result.Trace. Emission order is the simulation's own event
+	// order and all stamps are virtual time, so the exported trace is
+	// byte-identical between sequential and parallel-measurement runs.
+	// nil records nothing — zero events, zero rng draws, zero
+	// allocations — so the default path stays byte-identical with or
+	// without this field present.
+	Obs *obs.Config
+	// AuthCPUCostNS models the CPU cost of one MHAE sign/verify
+	// operation: each signed registration charges it once at the MN and
+	// each verification once at the HA, accumulated in the
+	// "mip.auth.cpu_ns" counter. 0 charges nothing (the legacy path);
+	// it never changes packet timing, only the accounting.
+	AuthCPUCostNS uint64
 }
 
 // DefaultConfig is a moderate scenario: one-root topology so every scheme

@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mobileip"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -128,19 +129,24 @@ func (s *scenario) installFaults() error {
 	return nil
 }
 
-// applyFault executes one resolved fault transition.
+// applyFault executes one resolved fault transition. With tracing armed
+// each transition also emits the matching fault-window event (cell- or
+// link-scoped), bracketing the outage/degradation/fade in the trace.
 func (s *scenario) applyFault(ev faults.Event, links []*netsim.Link, orig []netsim.LinkConfig, fm *faultMetrics) {
 	h := s.faultHooks
+	now := s.sched.Now()
 	switch ev.Kind {
 	case faults.StationDown:
 		for _, cell := range ev.Cells {
 			h.stationDown(cell)
 			fm.stationDowns.Inc()
+			s.trace.Emit(now, obs.KindFaultStationDown, -1, int32(cell), 0, 0)
 		}
 	case faults.StationUp:
 		for _, cell := range ev.Cells {
 			h.stationUp(cell)
 			fm.stationUps.Inc()
+			s.trace.Emit(now, obs.KindFaultStationUp, -1, int32(cell), 0, 0)
 		}
 		s.trackRecovery(fm)
 	case faults.LinkDegrade:
@@ -149,6 +155,7 @@ func (s *scenario) applyFault(ev faults.Event, links []*netsim.Link, orig []nets
 			l.SetLoss(min(1, o.Loss+ev.Loss))
 			l.SetDelay(o.Delay + ev.ExtraDelay)
 			fm.linkDegraded.Inc()
+			s.trace.Emit(now, obs.KindFaultLinkDegrade, -1, -1, int32(idx), int64(ev.ExtraDelay))
 		}
 	case faults.LinkRestore:
 		for _, idx := range ev.Links {
@@ -156,16 +163,19 @@ func (s *scenario) applyFault(ev faults.Event, links []*netsim.Link, orig []nets
 			l.SetLoss(o.Loss)
 			l.SetDelay(o.Delay)
 			fm.linkRestored.Inc()
+			s.trace.Emit(now, obs.KindFaultLinkRestore, -1, -1, int32(idx), 0)
 		}
 	case faults.FadeStart:
 		for _, cell := range ev.Cells {
 			h.fadeSet(cell, ev.Loss)
 			fm.fadeStarts.Inc()
+			s.trace.Emit(now, obs.KindFaultFadeStart, -1, int32(cell), 0, 0)
 		}
 	case faults.FadeEnd:
 		for _, cell := range ev.Cells {
 			h.fadeClear(cell)
 			fm.fadeEnds.Inc()
+			s.trace.Emit(now, obs.KindFaultFadeEnd, -1, int32(cell), 0, 0)
 		}
 	}
 }
@@ -201,6 +211,7 @@ func (s *scenario) trackRecovery(fm *faultMetrics) {
 		if n >= target {
 			fm.recoveryRecovered.Add(uint64(n))
 			fm.t90.Observe((s.sched.Now() - upAt).Seconds())
+			s.trace.Emit(s.sched.Now(), obs.KindRecoveryT90, -1, -1, int32(len(affected)), int64(s.sched.Now()-upAt))
 			return
 		}
 		s.sched.After(s.cfg.MeasureInterval, poll)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 	"repro/internal/topology"
@@ -118,11 +119,17 @@ func (s *scenario) buildFleetMobility(rng *simtime.Rand) {
 }
 
 // noteHandoff counts a committed handoff for MN i: the scenario total
-// plus, under a fleet, the MN's class aggregate.
+// plus, under a fleet, the MN's class aggregate. With tracing armed it
+// also opens the handoff span the next delivered packet closes.
 func (s *scenario) noteHandoff(i int) {
 	s.handoffs.Inc()
 	if bd := s.breakdown(i); bd != nil {
 		bd.Handoffs.Inc()
+	}
+	if s.trace != nil {
+		now := s.sched.Now()
+		s.trace.Emit(now, obs.KindHandoffTrigger, int32(i), -1, 0, 0)
+		s.handoffAt[i] = now
 	}
 }
 

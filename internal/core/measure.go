@@ -81,19 +81,46 @@ func (s *scenario) anyParallelDriver() bool {
 
 // measureTick runs MN i's tick: consume the pre-computed measurement if
 // the parallel phase primed one, compute inline otherwise, then decide.
+//
+// With tracing armed the two halves also accumulate wall-clock spend
+// into the trace (measure vs decide), the one place the engine is
+// allowed to read the host clock; the totals are diagnostics only and
+// never feed back into simulation state or the exported trace bytes.
 func (s *scenario) measureTick(i int) {
+	w := s.obsWall()
 	if i == 0 && s.measureWorkers > 1 {
+		var t0 time.Time
+		if w != nil {
+			t0 = time.Now()
+		}
 		s.primeMeasurements()
+		if w != nil {
+			w.MeasureNS += time.Since(t0).Nanoseconds()
+		}
 	}
 	d := &s.drivers[i]
 	if !d.primed {
+		var t0 time.Time
+		if w != nil {
+			t0 = time.Now()
+		}
 		now := s.sched.Now()
 		d.pos = d.model.Position(now)
 		d.speed = mobility.Speed(d.model, now)
 		d.sigs = d.measure(d.sigs, d.pos)
+		if w != nil {
+			w.MeasureNS += time.Since(t0).Nanoseconds()
+		}
 	}
 	d.primed = false
+	var t0 time.Time
+	if w != nil {
+		t0 = time.Now()
+	}
 	d.decide(d.pos, d.speed, d.sigs)
+	if w != nil {
+		w.DecideNS += time.Since(t0).Nanoseconds()
+	}
 }
 
 // primeMeasurements pre-computes every non-shared MN's measurement for

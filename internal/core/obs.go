@@ -1,0 +1,103 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// buildObs creates the run's trace when cfg.Obs arms one. It runs before
+// any node or scheme construction so every hook site can capture s.trace
+// (possibly nil — obs.Trace methods are nil-receiver no-ops, so the
+// nil-Obs path stays free of events, draws and allocations).
+func (s *scenario) buildObs() {
+	c := s.cfg.Obs
+	if c == nil {
+		return
+	}
+	s.trace = obs.New(*c)
+	s.trace.Meta = obs.Meta{
+		Scheme:   string(s.cfg.Scheme),
+		Seed:     s.cfg.Seed,
+		MNs:      s.cfg.NumMNs,
+		Duration: s.cfg.Duration,
+	}
+	if c.PacketSampleEvery > 0 {
+		s.pktEvery = uint64(c.PacketSampleEvery)
+	}
+	s.handoffAt = make([]time.Duration, s.cfg.NumMNs)
+	for i := range s.handoffAt {
+		s.handoffAt[i] = -1
+	}
+}
+
+// installObsProbes registers the engine and protocol gauges and schedules
+// the sampling ticker. It runs after the scheme builder and fault
+// installation (the probes read scheme state and the fault hooks); with
+// Obs nil or sampling disabled it never touches the scheduler, so the
+// event/seq stream of unsampled runs is unchanged.
+func (s *scenario) installObsProbes() {
+	tr := s.trace
+	if tr == nil || s.cfg.Obs.SampleInterval <= 0 {
+		return
+	}
+	// Engine introspection: raw heap occupancy plus the batching structures
+	// that keep it small, and the packet-arena working set.
+	tr.AddProbe("sched.heap_depth", func() float64 { return float64(s.sched.Queued()) })
+	tr.AddProbe("sched.tick_groups", func() float64 { return float64(s.sched.GroupCount()) })
+	tr.AddProbe("sched.delay_lines", func() float64 { return float64(s.sched.LineCount()) })
+	if s.arena != nil {
+		tr.AddProbe("arena.live", func() float64 { return float64(s.arena.Live()) })
+		tr.AddProbe("arena.high_water", func() float64 { return float64(s.arena.HighWater()) })
+	}
+	// Scenario-wide counters.
+	tr.AddProbe("data.sent", func() float64 { return float64(s.acct.Sent) })
+	tr.AddProbe("data.delivered", func() float64 { return float64(s.acct.Delivered) })
+	tr.AddProbe("handoffs", func() float64 { return float64(s.handoffs.Value()) })
+	// Scheme signalling load; the schemes that carry the Mobile IP leg
+	// also expose the modelled auth CPU spend.
+	switch s.cfg.Scheme {
+	case SchemeMobileIP:
+		s.counterProbe(tr, "mip.signaling.messages")
+		s.counterProbe(tr, "mip.auth.cpu_ns")
+	case SchemeCellularIPHard, SchemeCellularIPSemisoft:
+		s.counterProbe(tr, "cip.route_updates")
+	case SchemeMultiTier:
+		s.counterProbe(tr, "tier.location_msgs")
+		s.counterProbe(tr, "mip.auth.cpu_ns")
+	}
+	// Session survival under faults: the fraction of MNs holding a live
+	// registration, by the same scheme-specific notion the survival and
+	// recovery metrics use.
+	if h := s.faultHooks; h != nil && h.registered != nil {
+		n := s.cfg.NumMNs
+		tr.AddProbe("session.registered_frac", func() float64 {
+			reg := 0
+			for i := 0; i < n; i++ {
+				if h.registered(i) {
+					reg++
+				}
+			}
+			return float64(reg) / float64(n)
+		})
+	}
+	s.sched.Every(s.cfg.Obs.SampleInterval, func() { tr.SampleAll(s.sched.Now()) })
+}
+
+// counterProbe samples an existing registry counter by name. Every name
+// passed here is pre-registered by the scheme's stats constructor, so
+// probing never perturbs registry order.
+func (s *scenario) counterProbe(tr *obs.Trace, name string) {
+	c := s.reg.Counter(name)
+	tr.AddProbe(name, func() float64 { return float64(c.Value()) })
+}
+
+// obsWall exposes the trace's wall-clock accumulator to the measurement
+// engine (nil when tracing is off). Wall times are diagnostics only —
+// they are excluded from the deterministic exporters.
+func (s *scenario) obsWall() *obs.Wall {
+	if s.trace == nil {
+		return nil
+	}
+	return &s.trace.Wall
+}

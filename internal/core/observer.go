@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/simtime"
 )
 
 // flowObserver tallies the fate of application data packets (control
@@ -18,6 +20,10 @@ type flowObserver struct {
 	// fleetOf attributes a data flow to its MN's class aggregate; nil
 	// when the scenario runs without a fleet.
 	fleetOf func(flowID uint32) *metrics.Breakdown
+	// trace receives drop events for sampled (FlagTraced) packets; nil
+	// when tracing is off. sched supplies the virtual timestamp.
+	trace *obs.Trace
+	sched *simtime.Scheduler
 }
 
 var _ netsim.Observer = (*flowObserver)(nil)
@@ -65,6 +71,17 @@ func (o *flowObserver) OnDrop(at *netsim.Node, pkt *packet.Packet, reason metric
 	if o.fleetOf != nil {
 		if bd := o.fleetOf(pkt.FlowID); bd != nil {
 			bd.Flows.OnDropped(reason)
+		}
+	}
+	if o.trace != nil {
+		// The traced flag rides the inner packet through tunnels
+		// (Encapsulate copies the header scalars but not Flags).
+		fl := pkt.Flags
+		if pkt.Proto == packet.ProtoIPinIP && pkt.Inner != nil {
+			fl |= pkt.Inner.Flags
+		}
+		if fl&packet.FlagTraced != 0 {
+			o.trace.Emit(o.sched.Now(), obs.KindPacketDropped, -1, -1, int32(reason), int64(pkt.FlowID))
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/multitier"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/radio"
 	"repro/internal/rsmc"
@@ -27,6 +28,9 @@ type Result struct {
 	Config   Config
 	Registry *metrics.Registry
 	Summary  Summary
+	// Trace is the observability trace when Config.Obs armed one; nil
+	// otherwise.
+	Trace *obs.Trace
 }
 
 // Summary condenses the metrics every experiment compares.
@@ -94,6 +98,15 @@ type scenario struct {
 	// faultHooks is non-nil only when cfg.Faults is set; the scheme
 	// builders populate it and installFaults fires it (see faults.go).
 	faultHooks *faultState
+
+	// trace is non-nil only when cfg.Obs is set (see obs.go). handoffAt
+	// tracks each MN's pending handoff-span start (-1 = none) so the
+	// first delivered packet after a handoff closes the span; pktN and
+	// pktEvery drive the every-Nth packet lifecycle sampling.
+	trace     *obs.Trace
+	handoffAt []time.Duration
+	pktN      uint64
+	pktEvery  uint64
 }
 
 // Run executes one scenario and returns its results.
@@ -131,10 +144,13 @@ func Run(cfg Config) (*Result, error) {
 		reg:   metrics.NewRegistry(),
 	}
 	s.net = netsim.New(s.sched, s.rng)
+	s.buildObs()
 	s.lat = newLatencyTracker(s.reg)
 	s.acct = s.reg.Account("data.flows")
-	obs := newFlowObserver(s.reg)
-	s.net.SetObserver(obs)
+	fobs := newFlowObserver(s.reg)
+	fobs.trace = s.trace
+	fobs.sched = s.sched
+	s.net.SetObserver(fobs)
 	s.handoffs = s.reg.Counter("handoffs")
 	if cfg.PacketArena {
 		s.arena = packet.NewArena()
@@ -143,7 +159,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	if s.fleet != nil {
-		obs.fleetOf = s.fleet.breakdownForFlow
+		fobs.fleetOf = s.fleet.breakdownForFlow
 	}
 
 	s.inet = s.net.NewNode("inet")
@@ -184,11 +200,12 @@ func Run(cfg Config) (*Result, error) {
 	if err := s.installFaults(); err != nil {
 		return nil, err
 	}
+	s.installObsProbes()
 
 	if err := s.sched.RunUntil(cfg.Duration); err != nil {
 		return nil, fmt.Errorf("run: %w", err)
 	}
-	return &Result{Config: cfg, Registry: s.reg, Summary: s.summarize()}, nil
+	return &Result{Config: cfg, Registry: s.reg, Summary: s.summarize(), Trace: s.trace}, nil
 }
 
 // buildMobility creates one model per MN: the homogeneous config kind,
@@ -260,6 +277,16 @@ func (s *scenario) startTraffic(i int, dst addr.IP, rng *simtime.Rand) {
 	bd := s.breakdown(i)
 	alloc := s.dataAlloc()
 	sink := func(p *packet.Packet) {
+		// Every pktEvery-th data packet is marked for lifecycle tracing
+		// (pktEvery is 0 unless Config.Obs arms packet sampling, so the
+		// default path takes one predictable branch and nothing else).
+		if s.pktEvery > 0 {
+			s.pktN++
+			if s.pktN%s.pktEvery == 0 {
+				p.Flags |= packet.FlagTraced
+				s.trace.Emit(s.sched.Now(), obs.KindPacketSent, int32(i), -1, int32(p.FlowID), int64(p.Seq))
+			}
+		}
 		s.acct.OnSent()
 		if bd != nil {
 			bd.Flows.OnSent()
@@ -302,6 +329,18 @@ func (s *scenario) onDelivered(i int) func(p *packet.Packet) {
 		if bd != nil {
 			bd.Flows.OnDelivered(len(p.Payload))
 			bd.Latency.Observe(s.sched.Now() - p.SentAt)
+		}
+		if s.trace != nil {
+			now := s.sched.Now()
+			if p.Flags&packet.FlagTraced != 0 {
+				s.trace.Emit(now, obs.KindPacketDelivered, int32(i), -1, int32(p.FlowID), int64(now-p.SentAt))
+			}
+			// The first delivery after a committed handoff closes the
+			// trigger → first-delivered-packet span.
+			if s.handoffAt[i] >= 0 {
+				s.trace.Emit(now, obs.KindHandoffFirstData, int32(i), -1, 0, int64(now-s.handoffAt[i]))
+				s.handoffAt[i] = -1
+			}
 		}
 	}
 }
@@ -390,6 +429,7 @@ func (s *scenario) runMobileIP() error {
 		if s.cfg.Faults != nil {
 			cfg = faultMNConfig(cfg, s.cfg.Duration)
 		}
+		cfg.AuthCostNS = s.cfg.AuthCPUCostNS
 		mn := mobileip.NewMobileNode(mnNode, home, addr.MustParse(haIP), cfg, stats)
 		if s.cfg.Faults != nil {
 			mn.SetRand(s.rng.Fork()) // retry-jitter stream, fault runs only
@@ -397,6 +437,7 @@ func (s *scenario) runMobileIP() error {
 		if mnAuth != nil {
 			mn.SetAuth(mnAuth)
 		}
+		mn.SetTrace(s.trace, int32(i))
 		mn.OnData = s.onDelivered(i)
 		mn.OnLocationSignal = s.signalSink(i)
 		mns[i] = mn
@@ -473,6 +514,7 @@ func (s *scenario) mipAuth(ha *mobileip.HomeAgent) (*auth.Authenticator, error) 
 		return nil, fmt.Errorf("auth: %w", err)
 	}
 	ha.SetAuth(a, mipAuthWindow)
+	ha.SetAuthCost(s.cfg.AuthCPUCostNS)
 	return a, nil
 }
 
@@ -534,6 +576,7 @@ func (s *scenario) runCellularIP(semisoft bool) error {
 		ips[i] = ip
 		node := s.net.NewNode(fmt.Sprintf("mn-%d", i))
 		host := cellularip.NewMobileHost(node, ip, cipCfg, stats)
+		host.SetTrace(s.trace, int32(i))
 		host.OnData = s.onDelivered(i)
 		host.OnLocationSignal = s.signalSink(i)
 		if bd := s.breakdown(i); bd != nil {
@@ -635,6 +678,11 @@ func (s *scenario) runMultiTier() error {
 		if anchorAuth != nil {
 			root.SetAnchorAuth(anchorAuth)
 		}
+		if s.trace != nil {
+			// Per-root occupancy gauges, sampled on the obs cadence (the
+			// streaming tier.occupancy.* samples stay event-driven).
+			s.trace.AddProbe("occupancy.root."+root.Cell().Name, root.Utilization)
+		}
 	}
 
 	// One RSMC per domain; optionally armed with an authenticator shared
@@ -671,6 +719,7 @@ func (s *scenario) runMultiTier() error {
 		node := s.net.NewNode(fmt.Sprintf("mn-%d", i))
 		mob := multitier.NewMobile(node, prof, s.top, dir, pol, multitier.DefaultMobileConfig(),
 			s.measureRng(), stats)
+		mob.SetTrace(s.trace, int32(i))
 		mob.OnData = s.onDelivered(i)
 		mob.OnHandoff = func(multitier.HandoffKind, time.Duration) { s.noteHandoff(i) }
 		mob.OnLocationSignal = s.signalSink(i)

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/topology"
 )
@@ -30,6 +33,13 @@ type Options struct {
 	// parallelises each scenario's per-MN measurement phase without
 	// changing a single output byte. 0 measures inline (the default).
 	MeasureWorkers int
+	// Obs, when non-nil, arms deterministic tracing on every scenario of
+	// the suite. nil (the default) records nothing and keeps every table
+	// byte-identical to the untraced harness.
+	Obs *obs.Config
+	// TraceDir, when set (and Obs is armed), receives one JSONL trace
+	// per job — replication 0 only, named after the job label.
+	TraceDir string
 }
 
 // ErrBadOptions reports a degenerate Options value.
@@ -119,11 +129,62 @@ func (o Options) execute(experiment int, jobs []runner.Job) ([]runner.JobResult,
 		Parallel:       o.Parallel,
 		Paired:         true,
 		MeasureWorkers: o.MeasureWorkers,
+		Obs:            o.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("E%d: %w", experiment, err)
 	}
+	if err := o.writeTraces(res); err != nil {
+		return nil, fmt.Errorf("E%d: %w", experiment, err)
+	}
 	return res, nil
+}
+
+// writeTraces exports each job's replication-0 trace into TraceDir as
+// <label>.jsonl. A no-op without a trace directory or without tracing.
+func (o Options) writeTraces(res []runner.JobResult) error {
+	if o.TraceDir == "" || o.Obs == nil {
+		return nil
+	}
+	if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range res {
+		first := r.First()
+		if first == nil || first.Trace == nil {
+			continue
+		}
+		name := traceFileName(r.Job.Label, r.Index)
+		f, err := os.Create(filepath.Join(o.TraceDir, name))
+		if err != nil {
+			return err
+		}
+		werr := first.Trace.WriteJSONL(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
+
+// traceFileName maps a job label to a safe, unique file name: every
+// byte outside [A-Za-z0-9.-] becomes '_', and the job index prefixes
+// the name so two jobs with colliding labels never overwrite each
+// other's trace.
+func traceFileName(label string, index int) string {
+	b := []byte(label)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-':
+		default:
+			b[i] = '_'
+		}
+	}
+	return fmt.Sprintf("%03d-%s.jsonl", index, b)
 }
 
 // run executes a single experiment's plan on its own batch.
@@ -644,9 +705,13 @@ func All(opt Options) ([]*Table, error) {
 		Reps:           opt.Reps,
 		Parallel:       opt.Parallel,
 		MeasureWorkers: opt.MeasureWorkers,
+		Obs:            opt.Obs,
 	})
 	out := make([]*Table, 0, len(ps))
 	if err != nil {
+		return out, fmt.Errorf("suite: %w", err)
+	}
+	if err := opt.writeTraces(res); err != nil {
 		return out, fmt.Errorf("suite: %w", err)
 	}
 	idx := 0

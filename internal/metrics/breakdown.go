@@ -106,6 +106,25 @@ func NewBreakdown() *Breakdown {
 	return &Breakdown{Flows: LossAccount{Drops: make(map[DropReason]uint64)}}
 }
 
+// Merge folds another class aggregate into b, field-wise: populations
+// and counters add, the loss accounts / latency histograms / speed
+// aggregates merge through their own combination rules. Sharded scale
+// runs use this to combine per-worker class aggregates into one table
+// row; the float fields (Welford mean/variance) are associative up to
+// floating-point rounding, everything else exactly.
+func (b *Breakdown) Merge(o *Breakdown) {
+	if o == nil {
+		return
+	}
+	b.Population += o.Population
+	b.Flows.Merge(&o.Flows)
+	b.Latency.Merge(&o.Latency)
+	b.Handoffs.Add(o.Handoffs.Value())
+	b.Speed.Merge(&o.Speed)
+	b.LocationUpdates.Add(o.LocationUpdates.Value())
+	b.Pages.Add(o.Pages.Value())
+}
+
 // String summarises the class on one line.
 func (b *Breakdown) String() string {
 	return fmt.Sprintf("mns=%d speed=%.1fm/s %s handoffs=%d locupd=%d pages=%d latency[%s]",

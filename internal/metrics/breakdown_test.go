@@ -105,3 +105,86 @@ func TestRegistryBreakdownRenderAndReuse(t *testing.T) {
 		t.Fatalf("Render missing population:\n%s", out)
 	}
 }
+
+// relClose compares floats to a relative 1e-9 tolerance: the Welford
+// merge is associative only up to floating-point rounding.
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/den < 1e-9
+}
+
+// TestBreakdownMergeAssociative proves (a ⊕ b) ⊕ c equals a ⊕ (b ⊕ c)
+// on every field — exactly for the integer fields, to a relative 1e-9
+// tolerance for the Welford speed moments — so sharded scale runs can
+// combine per-worker aggregates in any grouping.
+func TestBreakdownMergeAssociative(t *testing.T) {
+	mk := func(seed int) *Breakdown {
+		b := NewBreakdown()
+		b.Population = seed
+		for i := 0; i < 50; i++ {
+			b.Flows.OnSent()
+			if i%3 == 0 {
+				b.Flows.OnDropped(DropReason(1 + (seed+i)%10))
+			} else {
+				b.Flows.OnDelivered(100 + i)
+			}
+			b.Latency.Observe(time.Duration(seed*1000+i*77) * time.Microsecond)
+			b.Speed.Observe(float64(seed) + float64(i)*0.37)
+		}
+		b.Handoffs.Add(uint64(seed * 3))
+		b.LocationUpdates.Add(uint64(seed * 5))
+		b.Pages.Add(uint64(seed * 7))
+		return b
+	}
+
+	left := mk(1) // (a ⊕ b) ⊕ c
+	left.Merge(mk(2))
+	left.Merge(mk(3))
+
+	bc := mk(2) // a ⊕ (b ⊕ c)
+	bc.Merge(mk(3))
+	right := mk(1)
+	right.Merge(bc)
+
+	if left.Population != right.Population {
+		t.Errorf("population %d vs %d", left.Population, right.Population)
+	}
+	if ls, rs := left.Flows.String(), right.Flows.String(); ls != rs {
+		t.Errorf("flows %s vs %s", ls, rs)
+	}
+	if ls, rs := left.Latency.String(), right.Latency.String(); ls != rs {
+		t.Errorf("latency %s vs %s", ls, rs)
+	}
+	for name, pair := range map[string][2]uint64{
+		"handoffs": {left.Handoffs.Value(), right.Handoffs.Value()},
+		"locupd":   {left.LocationUpdates.Value(), right.LocationUpdates.Value()},
+		"pages":    {left.Pages.Value(), right.Pages.Value()},
+		"speed-n":  {left.Speed.Count(), right.Speed.Count()},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s %d vs %d", name, pair[0], pair[1])
+		}
+	}
+	if !relClose(left.Speed.Mean(), right.Speed.Mean()) || !relClose(left.Speed.Std(), right.Speed.Std()) {
+		t.Errorf("speed moments mean %v/%v std %v/%v",
+			left.Speed.Mean(), right.Speed.Mean(), left.Speed.Std(), right.Speed.Std())
+	}
+}
+
+// TestBreakdownMergeIdentity: merging nil or an empty aggregate changes
+// nothing.
+func TestBreakdownMergeIdentity(t *testing.T) {
+	b := NewBreakdown()
+	b.Population = 4
+	b.Speed.Observe(3)
+	b.Flows.OnSent()
+	before := b.String()
+	b.Merge(nil)
+	b.Merge(NewBreakdown())
+	if got := b.String(); got != before {
+		t.Fatalf("identity merges changed the aggregate: %q -> %q", before, got)
+	}
+}

@@ -121,7 +121,9 @@ func (l *LossAccount) LossRate() float64 {
 	return float64(l.Dropped()) / float64(l.Sent)
 }
 
-// Merge folds another account into this one.
+// Merge folds another account into this one. A zero-value receiver (nil
+// Drops map, as in an embedded LossAccount that never saw a drop) grows
+// its map on demand instead of panicking.
 func (l *LossAccount) Merge(o *LossAccount) {
 	if o == nil {
 		return
@@ -130,6 +132,9 @@ func (l *LossAccount) Merge(o *LossAccount) {
 	l.Delivered += o.Delivered
 	l.Bytes += o.Bytes
 	l.Duplicate += o.Duplicate
+	if l.Drops == nil && len(o.Drops) > 0 {
+		l.Drops = make(map[DropReason]uint64, len(o.Drops))
+	}
 	for r, n := range o.Drops {
 		l.Drops[r] += n
 	}

@@ -215,16 +215,35 @@ func TestLossAccountEmptyRate(t *testing.T) {
 	}
 }
 
+// TestDropReasonStrings is exhaustive by construction: it walks the
+// contiguous reason space from the first defined value until String
+// falls through to the numeric default, so adding a DropReason without
+// a String case (or with a duplicate name) fails here without the test
+// needing its own reason list to maintain.
 func TestDropReasonStrings(t *testing.T) {
-	reasons := []DropReason{DropQueueFull, DropLinkLoss, DropNoRoute, DropTTL,
-		DropHandoff, DropStale, DropAdmission, DropAuth, DropBSDown, DropReason(99)}
-	seen := make(map[string]bool)
-	for _, r := range reasons {
+	seen := make(map[string]DropReason)
+	defined := 0
+	for r := DropQueueFull; ; r++ {
 		s := r.String()
-		if s == "" || seen[s] {
-			t.Fatalf("DropReason %d has empty/duplicate String %q", r, s)
+		if strings.HasPrefix(s, "drop(") {
+			break
 		}
-		seen[s] = true
+		if s == "" {
+			t.Fatalf("DropReason %d has empty String", r)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("DropReason %d and %d share String %q", prev, r, s)
+		}
+		seen[s] = r
+		defined++
+	}
+	// The walk must cover every declared reason (DropFault is the last).
+	if want := int(DropFault-DropQueueFull) + 1; defined != want {
+		t.Fatalf("String covers %d contiguous reasons, want %d — a reason is missing its case", defined, want)
+	}
+	// Undefined values must render distinctly, not collide with names.
+	if s := DropReason(99).String(); s != "drop(99)" {
+		t.Fatalf("undefined reason renders %q", s)
 	}
 }
 
@@ -285,5 +304,69 @@ func TestRegistry(t *testing.T) {
 	names[0] = "corrupted"
 	if r.Names()[0] != "handoffs" {
 		t.Fatal("Names returned internal slice")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the log-bucket edge behaviour:
+// values at and just past a bucket's upper bound land in adjacent
+// buckets, the floor bucket absorbs everything at or below 1µs, and the
+// ceiling bucket absorbs everything past the top of the range.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	if got := bucketIndex(0); got != 0 {
+		t.Errorf("bucketIndex(0) = %d, want 0", got)
+	}
+	if got := bucketIndex(bucketFloor); got != 0 {
+		t.Errorf("bucketIndex(floor) = %d, want 0", got)
+	}
+	if got := bucketIndex(bucketFloor / 2); got != 0 {
+		t.Errorf("bucketIndex(floor/2) = %d, want 0", got)
+	}
+	// Every bucket's upper bound must itself index at or below the next
+	// bucket, and a value just above it strictly past the current one:
+	// the two invariants Quantile's cumulative walk relies on.
+	for i := 0; i < bucketCount-1; i++ {
+		u := bucketUpper(i)
+		at := bucketIndex(u)
+		if at > i+1 {
+			t.Fatalf("bucketIndex(upper(%d)) = %d, want <= %d", i, at, i+1)
+		}
+		past := bucketIndex(u + u/1000)
+		if past < at {
+			t.Fatalf("bucket index not monotone at bucket %d: %d then %d", i, at, past)
+		}
+	}
+	// Past the ceiling everything clamps into the last bucket.
+	huge := bucketUpper(bucketCount-1) * 4
+	if got := bucketIndex(huge); got != bucketCount-1 {
+		t.Errorf("bucketIndex(huge) = %d, want %d", got, bucketCount-1)
+	}
+	// And Quantile never reports past the observed max even from the
+	// clamped bucket.
+	var h Histogram
+	h.Observe(huge)
+	if q := h.Quantile(0.99); q != huge {
+		t.Errorf("Quantile over ceiling bucket = %v, want clamped to max %v", q, huge)
+	}
+}
+
+// TestLossAccountMergeIntoZeroValue pins the nil-map guard: merging into
+// a zero-value account (embedded, never dropped anything) must not
+// panic and must carry the drop attribution over.
+func TestLossAccountMergeIntoZeroValue(t *testing.T) {
+	var l LossAccount // Drops == nil
+	o := NewLossAccount()
+	o.OnSent()
+	o.OnDropped(DropHandoff)
+	l.Merge(o)
+	if l.Sent != 1 || l.Drops[DropHandoff] != 1 {
+		t.Fatalf("merge into zero value lost data: %+v", l)
+	}
+	// Merging an empty account into a zero value stays map-less and
+	// functional.
+	var l2 LossAccount
+	l2.Merge(&LossAccount{})
+	l2.Merge(nil)
+	if l2.Dropped() != 0 {
+		t.Fatalf("empty merges produced drops: %+v", l2)
 	}
 }

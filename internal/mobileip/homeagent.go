@@ -45,6 +45,7 @@ type HomeAgent struct {
 	// MHAE token inside authWindow of the HA's clock.
 	auth       *auth.Authenticator
 	authWindow time.Duration
+	authCostNS uint64
 }
 
 var _ netsim.Handler = (*HomeAgent)(nil)
@@ -88,6 +89,10 @@ func (ha *HomeAgent) SetAuth(a *auth.Authenticator, window time.Duration) {
 	ha.authWindow = window
 }
 
+// SetAuthCost sets the modelled CPU cost of one MHAE verification,
+// charged to the mip.auth.cpu_ns counter per token actually verified.
+func (ha *HomeAgent) SetAuthCost(ns uint64) { ha.authCostNS = ns }
+
 // authorize verifies the request's MHAE extension. It returns true when
 // the registration may proceed.
 func (ha *HomeAgent) authorize(req *RegistrationRequest) bool {
@@ -107,6 +112,11 @@ func (ha *HomeAgent) authorize(req *RegistrationRequest) bool {
 			ha.stats.Replays.Inc()
 		}
 		return false
+	}
+	if ha.authCostNS > 0 && ha.stats != nil {
+		// The verify below always runs the HMAC; charge its modelled CPU
+		// cost whether or not the token turns out valid.
+		ha.stats.AuthCPUNS.Add(ha.authCostNS)
 	}
 	if err := ha.auth.VerifyFresh(req.Home, req.Nonce, req.Token[:]); err != nil {
 		if ha.stats != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 )
@@ -37,6 +38,10 @@ type MNConfig struct {
 	// TrackExpiry arms lifetime-expiry accounting (one extra scheduled
 	// event per grant, so it stays off on the legacy path).
 	TrackExpiry bool
+	// AuthCostNS is the modelled CPU cost of one MHAE signing operation,
+	// charged to the mip.auth.cpu_ns counter per signed registration.
+	// Zero (the default) charges nothing.
+	AuthCostNS uint64
 	// AirDelay and AirLoss characterise the uplink to the serving agent.
 	AirDelay time.Duration
 	AirLoss  float64
@@ -64,6 +69,11 @@ type MobileNode struct {
 	stats *Stats
 	rng   *simtime.Rand       // retry jitter stream; nil = exact schedule
 	auth  *auth.Authenticator // signs registrations when armed
+
+	// trace receives registration-lifecycle events when armed; a nil
+	// trace is inert (obs.Trace methods are nil-receiver no-ops).
+	trace      *obs.Trace
+	traceActor int32
 
 	current      *ForeignAgent // nil when at home / detached
 	registered   bool
@@ -118,6 +128,14 @@ func (mn *MobileNode) SetRand(r *simtime.Rand) { mn.rng = r }
 // authentication cost shows up in the signalling byte counters.
 func (mn *MobileNode) SetAuth(a *auth.Authenticator) { mn.auth = a }
 
+// SetTrace arms registration-lifecycle trace emission (attempt, retry,
+// exhaustion, accept, lifetime expiry) attributed to the given actor
+// index. A nil trace leaves every hook a no-op.
+func (mn *MobileNode) SetTrace(tr *obs.Trace, actor int32) {
+	mn.trace = tr
+	mn.traceActor = actor
+}
+
 // Home returns the permanent home address.
 func (mn *MobileNode) Home() addr.IP { return mn.home }
 
@@ -163,6 +181,7 @@ func (mn *MobileNode) startRegistration(careOf addr.IP) {
 	mn.pendingID = mn.nextID
 	mn.retries = 0
 	mn.sentAt = mn.sched.Now()
+	mn.trace.Emit(mn.sentAt, obs.KindRegAttempt, mn.traceActor, -1, 0, int64(mn.pendingID))
 	mn.sendRegistration(careOf, false)
 }
 
@@ -181,9 +200,15 @@ func (mn *MobileNode) sendRegistration(careOf addr.IP, isRetry bool) {
 		req.HasAuth = true
 		req.Nonce = uint64(mn.sched.Now())
 		copy(req.Token[:], mn.auth.Token(mn.home, req.Nonce))
+		if mn.cfg.AuthCostNS > 0 && mn.stats != nil {
+			mn.stats.AuthCPUNS.Add(mn.cfg.AuthCostNS)
+		}
 	}
-	if isRetry && mn.stats != nil {
-		mn.stats.Retries.Inc()
+	if isRetry {
+		if mn.stats != nil {
+			mn.stats.Retries.Inc()
+		}
+		mn.trace.Emit(mn.sched.Now(), obs.KindRegRetry, mn.traceActor, -1, int32(mn.retries), int64(mn.pendingID))
 	}
 	if mn.stats != nil {
 		mn.stats.Signaling.Inc()
@@ -243,6 +268,7 @@ func (mn *MobileNode) onRetryTimer(careOf addr.IP) {
 		if mn.stats != nil {
 			mn.stats.RetryExhausted.Inc()
 		}
+		mn.trace.Emit(mn.sched.Now(), obs.KindRegExhausted, mn.traceActor, -1, int32(mn.retries), int64(mn.pendingID))
 		if mn.OnRegistrationFailed != nil {
 			mn.OnRegistrationFailed()
 		}
@@ -317,6 +343,7 @@ func (mn *MobileNode) Receive(pkt *packet.Packet, from *netsim.Node, link *netsi
 	mn.registered = true
 	mn.cancelTimers()
 	latency := mn.sched.Now() - mn.sentAt
+	mn.trace.Emit(mn.sched.Now(), obs.KindRegAccept, mn.traceActor, -1, 0, int64(latency))
 	if mn.stats != nil {
 		mn.stats.RegLatency.Observe(latency)
 	}
@@ -340,8 +367,11 @@ func (mn *MobileNode) Receive(pkt *packet.Packet, from *netsim.Node, link *netsi
 			mn.grantGen++
 			gen := mn.grantGen
 			mn.sched.AfterFIFO(reply.Lifetime, func() {
-				if gen == mn.grantGen && !mn.registered && mn.stats != nil {
-					mn.stats.Expired.Inc()
+				if gen == mn.grantGen && !mn.registered {
+					if mn.stats != nil {
+						mn.stats.Expired.Inc()
+					}
+					mn.trace.Emit(mn.sched.Now(), obs.KindRegExpire, mn.traceActor, -1, 0, 0)
 				}
 			})
 		}

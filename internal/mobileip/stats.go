@@ -35,6 +35,10 @@ type Stats struct {
 	Replays *metrics.Counter
 	// AuthChecks counts registrations the HA verified MHAE tokens on.
 	AuthChecks *metrics.Counter
+	// AuthCPUNS accumulates the modelled CPU nanoseconds spent on MHAE
+	// sign (MN side) and verify (HA side) operations, so authentication
+	// overhead shows up as compute cost, not just signalling bytes.
+	AuthCPUNS *metrics.Counter
 }
 
 // NewStats wires stats into a registry under the "mip." prefix. A nil
@@ -56,5 +60,6 @@ func NewStats(reg *metrics.Registry) *Stats {
 		Expired:             reg.Counter("mip.registration.expired"),
 		Replays:             reg.Counter("mip.registration.replays"),
 		AuthChecks:          reg.Counter("mip.ha.auth_checks"),
+		AuthCPUNS:           reg.Counter("mip.auth.cpu_ns"),
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/radio"
 	"repro/internal/simtime"
@@ -83,6 +84,10 @@ type Mobile struct {
 	goIdleFn       func()
 	sendLocationFn func()
 
+	// trace receives handoff-span events when armed; nil is inert.
+	trace      *obs.Trace
+	traceActor int32
+
 	// OnData receives every unique data packet delivered to the MN.
 	OnData func(p *packet.Packet)
 	// OnHandoff is told about every committed handoff.
@@ -132,6 +137,13 @@ func NewMobile(node *netsim.Node, profile *Profile, top *topology.Topology, dir 
 	m.goIdleFn = m.goIdle
 	m.sendLocationFn = m.sendLocation
 	return m
+}
+
+// SetTrace arms handoff-span trace emission (request, commit, coverage
+// loss) attributed to the given actor index. A nil trace stays inert.
+func (m *Mobile) SetTrace(tr *obs.Trace, actor int32) {
+	m.trace = tr
+	m.traceActor = actor
 }
 
 // probeResources is the decision engine's third factor: can the candidate
@@ -252,6 +264,7 @@ func (m *Mobile) loseCoverage() {
 	m.serving = nil
 	m.servingCell = topology.NoCell
 	m.stopTickers()
+	m.trace.Emit(m.sched.Now(), obs.KindHandoffDetach, m.traceActor, -1, 0, 0)
 	if m.OnDetached != nil {
 		m.OnDetached()
 	}
@@ -276,6 +289,7 @@ func (m *Mobile) requestHandoff(target topology.CellID, speedMPS float64) {
 		req.Nonce = m.nonce
 		copy(req.Token[:], a.Token(m.profile.Home, m.nonce))
 	}
+	m.trace.Emit(m.sched.Now(), obs.KindHandoffRequest, m.traceActor, int32(target), 0, 0)
 	m.pending = &pendingHandoff{target: target, seq: m.seq, sentAt: m.sched.Now()}
 	m.pending.timeout = m.sched.AfterFIFO(m.cfg.HandoffTimeout, func() {
 		if m.pending != nil && m.pending.seq == req.Seq {
@@ -329,6 +343,7 @@ func (m *Mobile) commitHandoff(reply *HandoffReply) {
 	m.state = StateActive
 	m.restartTickers()
 	latency := m.sched.Now() - p.sentAt
+	m.trace.Emit(m.sched.Now(), obs.KindHandoffCommit, m.traceActor, int32(p.target), int32(kind), int64(latency))
 	if m.stats != nil {
 		m.stats.HandoffLatency.Observe(latency)
 		if c, ok := m.stats.HandoffsByKind[kind]; ok {

@@ -284,6 +284,11 @@ func (s *Station) ReleaseSession(mn addr.IP) {
 // reached over the run, in [0, 1].
 func (s *Station) PeakUtilization() float64 { return s.peakUtil }
 
+// Utilization returns the cell's current channel occupancy in [0, 1] —
+// the instantaneous gauge the observability sampler reads on a cadence
+// (PeakUtilization and the streaming samples stay event-driven).
+func (s *Station) Utilization() float64 { return s.resources.Channels.Utilization() }
+
 // observeOccupancy folds the cell's current channel occupancy into the
 // tier's streaming sample, the owning root's load-balance sample and the
 // cell's peak. Called after every admission grant and session release, so

@@ -22,6 +22,10 @@ type Arena struct {
 	allocated uint64
 	// reused counts Gets served from the free list.
 	reused uint64
+	// live counts packets currently checked out; highWater its maximum —
+	// the in-flight occupancy gauge the observability sampler reads.
+	live      uint64
+	highWater uint64
 }
 
 var _ Allocator = (*Arena)(nil)
@@ -31,6 +35,10 @@ func NewArena() *Arena { return &Arena{} }
 
 // Get implements Allocator.
 func (a *Arena) Get() *Packet {
+	a.live++
+	if a.live > a.highWater {
+		a.highWater = a.live
+	}
 	if n := len(a.free); n > 0 {
 		p := a.free[n-1]
 		a.free[n-1] = nil
@@ -43,7 +51,12 @@ func (a *Arena) Get() *Packet {
 }
 
 // Put implements Allocator.
-func (a *Arena) Put(p *Packet) { a.free = append(a.free, p) }
+func (a *Arena) Put(p *Packet) {
+	if a.live > 0 {
+		a.live--
+	}
+	a.free = append(a.free, p)
+}
 
 // Allocated returns the number of packets the arena created fresh — the
 // scenario's peak packet working set, and the number the bounded-memory
@@ -55,3 +68,9 @@ func (a *Arena) Reused() uint64 { return a.reused }
 
 // FreeLen returns the current free-list length.
 func (a *Arena) FreeLen() int { return len(a.free) }
+
+// Live returns the number of packets currently checked out.
+func (a *Arena) Live() uint64 { return a.live }
+
+// HighWater returns the peak simultaneous checked-out packet count.
+func (a *Arena) HighWater() uint64 { return a.highWater }

@@ -232,6 +232,11 @@ const (
 	FlagBicast uint8 = 1 << iota
 	// FlagRetransmit marks a protocol retransmission.
 	FlagRetransmit
+	// FlagTraced marks a packet sampled into the observability trace:
+	// its delivery or drop emits a lifecycle event. Clones inherit the
+	// flag (whole-struct copy), so bicast duplicates of a sampled packet
+	// stay visible; Release clears it with the rest of the header.
+	FlagTraced
 )
 
 // New returns a data packet with a full TTL. The packet comes from the

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Job is one scenario configuration to execute. The runner overwrites
@@ -55,6 +56,11 @@ type Options struct {
 	// measurement phase. Results are byte-identical for any worker count,
 	// so this is purely a throughput knob.
 	MeasureWorkers int
+	// Obs, when non-nil, arms deterministic tracing on every job that did
+	// not pin its own Config.Obs. Each run owns a private trace (returned
+	// on its Result), so tracing composes with the worker pool without
+	// synchronisation.
+	Obs *obs.Config
 }
 
 // ErrBadOptions reports a degenerate Options value.
@@ -177,6 +183,9 @@ func Run(jobs []Job, opt Options) ([]JobResult, error) {
 				cfg.Seed = results[t.job].Seeds[t.rep]
 				if cfg.MeasureWorkers == 0 {
 					cfg.MeasureWorkers = opt.MeasureWorkers
+				}
+				if cfg.Obs == nil {
+					cfg.Obs = opt.Obs
 				}
 				res, err := core.Run(cfg)
 				if err != nil {

@@ -156,6 +156,15 @@ func (s *Scheduler) Queued() int { return len(s.heap) }
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
+// GroupCount returns the number of distinct tick-group intervals pooled
+// behind single heap events (see ticker.go) — with Queued and LineCount,
+// the observability sampler's picture of engine occupancy.
+func (s *Scheduler) GroupCount() int { return len(s.groups) }
+
+// LineCount returns the number of distinct constant-delay FIFO lines
+// (see line.go).
+func (s *Scheduler) LineCount() int { return len(s.lines) }
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // clamps to the current time (the event fires next, after already-queued
 // events for the same instant).

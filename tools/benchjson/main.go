@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,12 +40,29 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// Report is the emitted document.
+// Report is the emitted document. The provenance fields (GoVersion,
+// GitCommit) identify the toolchain and tree that produced a snapshot;
+// -compare ignores them, so old baselines without the fields and new
+// ones with them interoperate freely.
 type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	Goos      string   `json:"goos,omitempty"`
+	Goarch    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	GoVersion string   `json:"go_version,omitempty"`
+	GitCommit string   `json:"git_commit,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// stamp records the producing toolchain and, when available, the git
+// commit of the working tree. Both are best-effort provenance: a missing
+// git binary or a non-repo working directory just leaves the field
+// empty.
+func (r *Report) stamp() {
+	r.GoVersion = runtime.Version()
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err == nil {
+		r.GitCommit = strings.TrimSpace(string(out))
+	}
 }
 
 func main() {
@@ -70,6 +89,7 @@ func main() {
 		}
 		return
 	}
+	rep.stamp()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {

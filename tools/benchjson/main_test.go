@@ -275,3 +275,46 @@ func TestCompareGateCPUMismatchMakesNsAdvisory(t *testing.T) {
 		t.Fatalf("ns/op failed the gate with unknown CPU identity: failures=%d err=%v\n%s", n, err, out.String())
 	}
 }
+
+func TestStampRecordsToolchain(t *testing.T) {
+	var rep Report
+	rep.stamp()
+	if !strings.HasPrefix(rep.GoVersion, "go") {
+		t.Fatalf("go_version = %q, want a go toolchain version", rep.GoVersion)
+	}
+	// GitCommit is best-effort: when it is set (tests run inside the
+	// repo) it must look like a short hash.
+	if rep.GitCommit != "" && (len(rep.GitCommit) < 6 || strings.ContainsAny(rep.GitCommit, " \n")) {
+		t.Fatalf("git_commit = %q, not a short hash", rep.GitCommit)
+	}
+}
+
+// TestCompareToleratesProvenanceMetadata pins the interop contract:
+// baselines carrying (or lacking) the go_version/git_commit provenance
+// fields — and any future unknown metadata — compare cleanly against a
+// fresh report either way.
+func TestCompareToleratesProvenanceMetadata(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	raw := []byte(`{
+  "cpu": "test-box",
+  "go_version": "go99.99",
+  "git_commit": "deadbeef",
+  "some_future_field": {"nested": true},
+  "results": [{"name": "BenchmarkE9ScaleSweep", "iterations": 1, "ns_per_op": 1000}]
+}`)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := Report{CPU: "test-box", GoVersion: "go1.0", Results: []Result{
+		{Name: "BenchmarkE9ScaleSweep", NsPerOp: 1000},
+	}}
+	fresh.stamp()
+	var out strings.Builder
+	n, err := compare(path, fresh, 0.15, []string{"BenchmarkE9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("metadata-bearing baseline failed the gate:\n%s", out.String())
+	}
+}

@@ -17,7 +17,9 @@
 //     sanctions the loop.
 //  2. Ambient nondeterminism: time.Now/Since/Until and the global
 //     math/rand draw functions are banned; simulated time comes from
-//     simtime.Scheduler and randomness from seeded simtime.Rand.
+//     simtime.Scheduler and randomness from seeded simtime.Rand. The
+//     one exception is core/measure.go, where obs wall-time
+//     diagnostics may read the host clock (never feeding sim state).
 //  3. Concurrency: bare `go` statements are banned. The measurement
 //     fan-out in internal/core/measure.go and everything under
 //     internal/runner are the sanctioned exceptions.
@@ -128,7 +130,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, allowConcurrency bool) {
 				pass.Reportf(n.Pos(), "bare goroutine in simulator code: concurrency is reserved for internal/runner and core's measurement fan-out")
 			}
 		case *ast.CallExpr:
-			checkBannedCall(pass, n)
+			checkBannedCall(pass, n, allowConcurrency)
 		case *ast.RangeStmt:
 			checkRange(pass, n, sorted)
 		}
@@ -136,13 +138,21 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, allowConcurrency bool) {
 	})
 }
 
-func checkBannedCall(pass *analysis.Pass, call *ast.CallExpr) {
+// checkBannedCall flags wall-clock and global-rand calls. allowHost is
+// true only for core/measure.go — the same file whose measurement
+// fan-out is the sanctioned concurrency exception — where obs wall-time
+// diagnostics (Trace.Wall) may read the host clock; those readings
+// never feed simulation state and are excluded from trace exporters.
+func checkBannedCall(pass *analysis.Pass, call *ast.CallExpr, allowHost bool) {
 	ref := analysis.Callee(pass.Info, call)
 	if ref.Recv != "" {
 		return
 	}
 	switch {
 	case ref.Pkg == "time" && bannedTime[ref.Name]:
+		if allowHost {
+			return
+		}
 		pass.Reportf(call.Pos(), "time.%s in simulator code: use the simtime.Scheduler clock", ref.Name)
 	case (ref.Pkg == "math/rand" || ref.Pkg == "math/rand/v2") && bannedRand[ref.Name]:
 		pass.Reportf(call.Pos(), "global %s.%s draw: use a seeded *simtime.Rand", filepath.Base(ref.Pkg), ref.Name)
