@@ -11,14 +11,14 @@ OLD ?= old.txt
 NEW ?= new.txt
 # BENCH_JSON is the perf-trajectory snapshot bench-json writes and the
 # baseline bench-gate compares against.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_9.json
 # bench-gate tuning: GATE_ONLY is the single source of truth for what
 # the gate covers — comma-separated benchmark name prefixes, passed to
 # benchjson -only and converted into the -bench run regex below, so the
 # set of benchmarks that run and the set that are gated cannot desync.
 # GATE_LIMIT is the tolerated fractional ns/op (or allocs/op) regression
 # versus the committed baseline.
-GATE_ONLY ?= BenchmarkE6,BenchmarkE9,BenchmarkE10,BenchmarkE11
+GATE_ONLY ?= BenchmarkE6,BenchmarkE9,BenchmarkE10,BenchmarkE11,BenchmarkE13
 GATE_BENCH = $(shell echo '$(GATE_ONLY)' | sed 's/Benchmark//g; s/,/|/g')
 GATE_LIMIT ?= 0.15
 
@@ -86,7 +86,8 @@ bench-compare:
 	sh tools/bench-compare.sh $(OLD) $(NEW)
 
 # bench-gate: the benchmark-regression gate CI runs — re-measure the
-# gated experiment benchmarks (E6, E9 incl. the 10k-MN column, E10) and
+# gated experiment benchmarks (E6, E9 incl. the 10k-MN column, E10, E11,
+# E13 closed-loop) and
 # fail if ns/op (or allocs/op) regressed beyond GATE_LIMIT versus the
 # committed $(BENCH_JSON) baseline. -count 3 repetitions are min-merged
 # by the compare tool so a noisy machine doesn't flag phantom

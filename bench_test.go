@@ -167,6 +167,21 @@ func BenchmarkE11Resilience(b *testing.B) {
 	}
 }
 
+// BenchmarkE13ClosedLoop regenerates the closed-loop suite cell (the
+// hotspot crowd under a root blackout, open and closed): its per-op
+// cost prices the whole feedback loop — sampling, windowed monitor
+// evaluation, alert-driven budget shifts and pre-paging — on top of a
+// faulted multi-tier run.
+func BenchmarkE13ClosedLoop(b *testing.B) {
+	m := experiments.SuiteClosedLoopMatrix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E13ClosedLoop(benchOpt, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchAll runs the full E1–E8 suite with the given worker count; the
 // sequential/parallel pair quantifies the worker-pool speedup on the
 // whole regeneration.

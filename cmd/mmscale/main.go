@@ -8,7 +8,10 @@
 // resilience matrix instead: deterministic fault plans (station outages,
 // backbone degradation, regional radio fade) injected into every scheme,
 // reporting handoff loss, session survival, signalling load and
-// time-to-90%-re-registered recovery.
+// time-to-90%-re-registered recovery. With -closedloop it runs the E13
+// closed-loop matrix: a hotspot crowd swept open-loop and again with
+// the QoE feedback loop armed (elastic admission budget shifting plus
+// survival-dip pre-paging), against each fault profile.
 //
 // Scale runs are bounded-memory by construction: each scenario owns a
 // private packet arena and per-profile metrics are streaming aggregates,
@@ -29,6 +32,8 @@
 //	mmscale -faults                             # E11: resilience matrix, all fault profiles
 //	mmscale -faults -faultprofiles root-outage  # one fault profile
 //	mmscale -faults -trace -sample 250ms -traceout traces/  # one JSONL trace per scenario
+//	mmscale -closedloop                         # E13: open vs closed QoE feedback loop
+//	mmscale -closedloop -trace -traceout traces/  # with alert traces (mmtrace -alerts)
 package main
 
 import (
@@ -71,6 +76,7 @@ func run(args []string) error {
 		signalling = fs.Bool("signalling", false, "add per-profile location-update and paging columns to the E9 sweep (E10 always includes them)")
 		dimension  = fs.Bool("dimension", false, "run the E10 capacity matrix: fixed vs dimensioned topology")
 		faultsRun  = fs.Bool("faults", false, "run the E11 resilience matrix: deterministic fault injection x scheme")
+		closedloop = fs.Bool("closedloop", false, "run the E13 closed-loop matrix: open vs closed QoE feedback loop x fault profile")
 		faultprofs = fs.String("faultprofiles", "", "with -faults, comma-separated fault profiles to inject (default: all standard profiles)")
 		rootocc    = fs.Bool("rootocc", false, "with -dimension, add the per-root occupancy load-balance column")
 		density    = fs.String("density", string(capacity.DensityUrban), "dimensioning density preset (sparse|urban|dense)")
@@ -108,8 +114,14 @@ func run(args []string) error {
 		return err
 	}
 
-	if *faultsRun && *dimension {
-		return fmt.Errorf("-faults and -dimension are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*faultsRun, *dimension, *closedloop} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-faults, -dimension and -closedloop are mutually exclusive")
 	}
 	if *faultprofs != "" && !*faultsRun {
 		return fmt.Errorf("-faultprofiles requires -faults")
@@ -135,6 +147,23 @@ func run(args []string) error {
 			}
 		})
 		tbl, err = experiments.E11Resilience(opt, m)
+	} else if *closedloop {
+		// The closed-loop matrix runs its own hotspot crowd against the
+		// multi-tier scheme only; explicit axis flags still override.
+		m := experiments.DefaultClosedLoopMatrix()
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "mns":
+				m.Populations = sw.Populations
+			case "duration":
+				m.Duration = sw.Duration
+			case "fleet":
+				m.Spec = sw.Spec
+			case "sample":
+				m.SampleInterval = *sample
+			}
+		})
+		tbl, err = experiments.E13ClosedLoop(opt, m)
 	} else if *dimension {
 		tbl, err = experiments.E10CapacityMatrix(opt, experiments.CapacityMatrix{
 			Populations: sw.Populations,

@@ -88,3 +88,23 @@ func TestRunMeasureWorkers(t *testing.T) {
 		t.Fatal("negative -measureworkers accepted")
 	}
 }
+
+func TestRunSmallClosedLoopMatrix(t *testing.T) {
+	// A small crowd never trips the occupancy alert, but the full
+	// open/closed x profile matrix must still run and render.
+	if err := run([]string{"-closedloop", "-mns", "100", "-duration", "2s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsConflictingModes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-closedloop", "-faults"},
+		{"-closedloop", "-dimension"},
+		{"-faults", "-dimension"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) accepted", args)
+		}
+	}
+}

@@ -39,6 +39,7 @@ func run(args []string, out io.Writer) error {
 		diff     = fs.Bool("diff", false, "compare two traces: mmtrace -diff a.jsonl b.jsonl")
 		chrome   = fs.String("chrome", "", "convert the trace to Chrome trace-event JSON at this path")
 		timeline = fs.Bool("timeline", false, "print the chronological handoff and fault timeline")
+		alerts   = fs.Bool("alerts", false, "print the per-rule alert raise/clear timeline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +86,9 @@ func run(args []string, out io.Writer) error {
 	printSummary(out, tr)
 	if *timeline {
 		printTimeline(out, tr)
+	}
+	if *alerts {
+		printAlerts(out, tr)
 	}
 	return nil
 }
@@ -148,10 +152,17 @@ func printSummary(out io.Writer, tr *obs.Trace) {
 	fmt.Fprintf(out, "trace: scheme=%s seed=%d mns=%d duration=%v\n", m.Scheme, m.Seed, m.MNs, m.Duration)
 	fmt.Fprintf(out, "  %d events (%d dropped), %d sampling rounds, %d series\n",
 		len(tr.Events()), tr.Dropped(), tr.Samples(), len(tr.AllSeries()))
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(out, "  WARNING: %d events dropped at capacity; counts and spans below are incomplete\n", d)
+	}
 
 	counts := make(map[obs.Kind]int)
 	for _, e := range tr.Events() {
 		counts[e.Kind]++
+	}
+	if r, c := counts[obs.KindAlertRaise], counts[obs.KindAlertClear]; r > 0 || c > 0 || len(tr.RuleNames()) > 0 {
+		fmt.Fprintf(out, "  alerts: %d raised, %d cleared across %d rules (-alerts prints the timeline)\n",
+			r, c, len(tr.RuleNames()))
 	}
 	fmt.Fprintln(out, "\nevent counts:")
 	for _, k := range obs.Kinds() {
@@ -248,6 +259,59 @@ func printTimeline(out io.Writer, tr *obs.Trace) {
 	}
 }
 
+// alertVal renders the ppm fixed-point value carried in alert events'
+// Val field back as the float the rule compared against its threshold.
+func alertVal(ppm int64) string {
+	return fmt.Sprintf("%.4f", float64(ppm)/1e6)
+}
+
+// printAlerts renders the per-rule alert timeline: every raise paired
+// with its clear (rules are identified by the Aux index the monitor
+// stamps on both events), alerts still active at the end of the run
+// annotated as open. Traces written before monitors existed carry no
+// rule declarations; the section says so instead of printing nothing.
+func printAlerts(out io.Writer, tr *obs.Trace) {
+	fmt.Fprintln(out, "\nalert timeline:")
+	names := tr.RuleNames()
+	if len(names) == 0 {
+		fmt.Fprintln(out, "  (trace declares no monitor rules)")
+		return
+	}
+	type openAlert struct {
+		at  time.Duration
+		val int64
+	}
+	open := make(map[int32]openAlert, len(names))
+	fired := false
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.KindAlertRaise:
+			open[e.Aux] = openAlert{e.At, e.Val}
+		case obs.KindAlertClear:
+			o, ok := open[e.Aux]
+			if !ok {
+				continue
+			}
+			delete(open, e.Aux)
+			fired = true
+			fmt.Fprintf(out, "  %-12v %-24s raised at %s, cleared after %v at %s\n",
+				o.at, tr.RuleName(e.Aux), alertVal(o.val), e.At-o.at, alertVal(e.Val))
+		}
+	}
+	// Alerts never cleared: report in rule-declaration order so the
+	// rendering stays deterministic regardless of map iteration.
+	for aux := range names {
+		if o, ok := open[int32(aux)]; ok {
+			fired = true
+			fmt.Fprintf(out, "  %-12v %-24s raised at %s, still active at end of trace\n",
+				o.at, tr.RuleName(int32(aux)), alertVal(o.val))
+		}
+	}
+	if !fired {
+		fmt.Fprintf(out, "  (no alerts fired across %d rules)\n", len(names))
+	}
+}
+
 // printDiff aligns two traces and reports event-count deltas, span
 // percentile shifts and series mean shifts.
 func printDiff(out io.Writer, pathA, pathB string, a, b *obs.Trace) {
@@ -274,6 +338,11 @@ func printDiff(out io.Writer, pathA, pathB string, a, b *obs.Trace) {
 			marker = "  *"
 		}
 		fmt.Fprintf(out, "  %-20s %6d -> %-6d (%+d)%s\n", k, ca[k], cb[k], cb[k]-ca[k], marker)
+	}
+	if ca[obs.KindAlertRaise]+cb[obs.KindAlertRaise]+ca[obs.KindAlertClear]+cb[obs.KindAlertClear] > 0 {
+		fmt.Fprintf(out, "\nalerts: raised %d -> %d (%+d), cleared %d -> %d (%+d)\n",
+			ca[obs.KindAlertRaise], cb[obs.KindAlertRaise], cb[obs.KindAlertRaise]-ca[obs.KindAlertRaise],
+			ca[obs.KindAlertClear], cb[obs.KindAlertClear], cb[obs.KindAlertClear]-ca[obs.KindAlertClear])
 	}
 
 	fmt.Fprintln(out, "\nspan latencies (A -> B):")

@@ -133,3 +133,112 @@ func TestSpansReadValField(t *testing.T) {
 		t.Errorf("spans = %v", got)
 	}
 }
+
+// alertTrace builds a trace with two monitor rules: "hot" raises twice
+// (once cleared, once left open at the end) and "quiet" never fires.
+func alertTrace(t *testing.T) string {
+	t.Helper()
+	tr := obs.New(obs.Config{Capacity: 64})
+	m := obs.NewMonitor(tr)
+	for _, r := range []obs.Rule{
+		{Name: "hot", Series: "g", Threshold: 0.5, Hysteresis: 0.1},
+		{Name: "quiet", Series: "g", Threshold: 99},
+	} {
+		if err := m.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed := func(at time.Duration, v float64) {
+		tr.SeriesByName("g").Observe(at, v)
+		m.Eval(at)
+	}
+	feed(1*time.Second, 0.2)
+	feed(2*time.Second, 0.9) // raise
+	feed(3*time.Second, 0.3) // clear
+	feed(4*time.Second, 0.9) // raise again, never cleared
+	path := filepath.Join(t.TempDir(), "alerts.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAlertTimeline(t *testing.T) {
+	path := alertTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-alerts", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"alerts: 2 raised, 1 cleared across 2 rules",
+		"alert timeline:",
+		"hot",
+		"cleared after 1s",
+		"still active at end of trace",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("alert view missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "quiet") {
+		t.Errorf("rule that never fired appears in the timeline:\n%s", out)
+	}
+}
+
+// TestAlertTimelineOnPreMonitorTrace pins graceful degradation: traces
+// written before monitors existed declare no rules, and the section
+// says so instead of erroring or vanishing.
+func TestAlertTimelineOnPreMonitorTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-alerts", goldenTrace}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "(trace declares no monitor rules)") {
+		t.Errorf("pre-monitor trace did not render the empty alert section:\n%s", buf.String())
+	}
+}
+
+func TestDiffReportsAlertCounts(t *testing.T) {
+	path := alertTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-diff", path, path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "alerts: raised 2 -> 2 (+0), cleared 1 -> 1 (+0)") {
+		t.Errorf("diff missing alert counts:\n%s", buf.String())
+	}
+}
+
+// TestSummaryWarnsOnDroppedEvents pins the Dropped>0 surfacing: a trace
+// that overflowed its buffer must say so up front.
+func TestSummaryWarnsOnDroppedEvents(t *testing.T) {
+	tr := obs.New(obs.Config{Capacity: 1})
+	tr.Emit(1, obs.KindRegAttempt, 0, -1, 0, 0)
+	tr.Emit(2, obs.KindRegAttempt, 1, -1, 0, 0)
+	path := filepath.Join(t.TempDir(), "dropped.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "WARNING: 1 events dropped at capacity") {
+		t.Errorf("summary missing the dropped-events warning:\n%s", buf.String())
+	}
+}

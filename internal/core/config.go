@@ -65,6 +65,11 @@ const (
 	MobilityManhattan MobilityKind = "manhattan"
 	// MobilityStatic keeps MNs at micro-cell centres (no handoffs).
 	MobilityStatic MobilityKind = "static"
+	// MobilityHotspot confines random-waypoint roaming to the first
+	// root's micro-cell footprint — the crowd-at-the-stadium workload
+	// that overloads one root of a grid dimensioned for a uniform
+	// spread (the elastic-admission stressor of E13).
+	MobilityHotspot MobilityKind = "hotspot"
 )
 
 // TrafficConfig enables downlink flows per MN.
@@ -181,6 +186,17 @@ type Config struct {
 	// allocations — so the default path stays byte-identical with or
 	// without this field present.
 	Obs *obs.Config
+	// Control optionally closes the QoE feedback loop: deterministic SLO
+	// monitors (threshold + hysteresis + min-duration rules over the
+	// sampled series) evaluated on the Obs sampling cadence, driving
+	// elastic admission-budget shifts toward hot roots and post-fault
+	// pre-paging while session survival dips. Requires Obs with a
+	// positive SampleInterval — decisions come from sim-time samples
+	// only, so closed-loop traces stay golden-pinnable. nil installs no
+	// monitor — zero events, zero rng draws, zero allocations on the
+	// sampling path — so the default path is byte-identical with or
+	// without this field present.
+	Control *ControlConfig
 	// AuthCPUCostNS models the CPU cost of one MHAE sign/verify
 	// operation: each signed registration charges it once at the MN and
 	// each verification once at the HA, accumulated in the

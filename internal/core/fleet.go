@@ -28,7 +28,8 @@ type fleetState struct {
 func validMobilityKind(k MobilityKind) bool {
 	switch k {
 	case MobilityWaypoint, MobilityShuttle, MobilityShuttleDomains,
-		MobilityShuttleTier, MobilityManhattan, MobilityStatic:
+		MobilityShuttleTier, MobilityManhattan, MobilityStatic,
+		MobilityHotspot:
 		return true
 	}
 	return false

@@ -81,7 +81,15 @@ func (s *scenario) installObsProbes() {
 			return float64(reg) / float64(n)
 		})
 	}
-	s.sched.Every(s.cfg.Obs.SampleInterval, func() { tr.SampleAll(s.sched.Now()) })
+	// Monitors evaluate right after the probes sample, on the same tick:
+	// rule decisions see fresh points and never any other clock. With no
+	// Control configured s.monitor stays nil and Eval is a nil-receiver
+	// no-op — zero events, zero rng draws, zero allocations.
+	s.sched.Every(s.cfg.Obs.SampleInterval, func() {
+		now := s.sched.Now()
+		tr.SampleAll(now)
+		s.monitor.Eval(now)
+	})
 }
 
 // counterProbe samples an existing registry counter by name. Every name

@@ -98,6 +98,17 @@ type scenario struct {
 	// faultHooks is non-nil only when cfg.Faults is set; the scheme
 	// builders populate it and installFaults fires it (see faults.go).
 	faultHooks *faultState
+	// controlHooks is non-nil only when cfg.Control is set; the scheme
+	// builders populate it and installControl binds monitor alerts to it
+	// (see control.go). monitor is the installed SLO monitor (nil keeps
+	// the sampling tick a pure SampleAll).
+	controlHooks *controlState
+	monitor      *obs.Monitor
+
+	// hotMicros/hotArena cache the hotspot workload's target cells: the
+	// first root's micro footprint (see modelFor).
+	hotMicros []*topology.Cell
+	hotArena  geo.Rect
 
 	// trace is non-nil only when cfg.Obs is set (see obs.go). handoffAt
 	// tracks each MN's pending handoff-span start (-1 = none) so the
@@ -177,6 +188,12 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Faults != nil {
 		s.faultHooks = &faultState{}
 	}
+	if cfg.Control != nil {
+		if err := s.validateControl(); err != nil {
+			return nil, err
+		}
+		s.controlHooks = &controlState{}
+	}
 
 	switch cfg.Scheme {
 	case SchemeMobileIP:
@@ -201,6 +218,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	s.installObsProbes()
+	if err := s.installControl(); err != nil {
+		return nil, err
+	}
 
 	if err := s.sched.RunUntil(cfg.Duration); err != nil {
 		return nil, fmt.Errorf("run: %w", err)
@@ -246,6 +266,15 @@ func (s *scenario) modelFor(kind MobilityKind, speedMPS float64, i int, micros, 
 		}, rng.Fork())
 	case MobilityStatic:
 		return mobility.NewStationary(micros[i%len(micros)].Pos)
+	case MobilityHotspot:
+		hot, arena := s.hotspot(micros)
+		return mobility.NewWaypoint(mobility.WaypointConfig{
+			Arena:    arena,
+			MinSpeed: speedMPS * 0.5,
+			MaxSpeed: speedMPS * 1.5,
+			MaxPause: 5 * time.Second,
+			Start:    hot[i%len(hot)].Pos,
+		}, rng.Fork())
 	case MobilityShuttleDomains:
 		a := macros[i%len(macros)]
 		b := macros[(i+1)%len(macros)]
@@ -259,6 +288,42 @@ func (s *scenario) modelFor(kind MobilityKind, speedMPS float64, i int, micros, 
 		b := micros[(i+1)%len(micros)]
 		return mobility.NewPingPong(a.Pos, b.Pos, speedMPS)
 	}
+}
+
+// hotspot resolves (and caches) the hotspot workload's footprint: the
+// micro cells beneath the first root, and their centres' bounding box
+// padded by half the smallest micro range — a crowd arena strictly
+// inside one root's grid, on a topology dimensioned for a uniform
+// spread. Falls back to all micros on a grid whose first root has none.
+func (s *scenario) hotspot(micros []*topology.Cell) ([]*topology.Cell, geo.Rect) {
+	if s.hotMicros != nil {
+		return s.hotMicros, s.hotArena
+	}
+	roots := s.top.CellsOfTier(topology.TierRoot)
+	hotRoot := roots[0].ID
+	var hot []*topology.Cell
+	for _, c := range micros {
+		if s.top.RootOf(c.ID) == hotRoot {
+			hot = append(hot, c)
+		}
+	}
+	if len(hot) == 0 {
+		hot = micros
+	}
+	r := geo.Rect{Min: hot[0].Pos, Max: hot[0].Pos}
+	pad := hot[0].Radio.MaxRange
+	for _, c := range hot {
+		r.Min.X = math.Min(r.Min.X, c.Pos.X)
+		r.Min.Y = math.Min(r.Min.Y, c.Pos.Y)
+		r.Max.X = math.Max(r.Max.X, c.Pos.X)
+		r.Max.Y = math.Max(r.Max.Y, c.Pos.Y)
+		pad = math.Min(pad, c.Radio.MaxRange)
+	}
+	pad /= 2
+	r.Min = s.top.Arena.Clamp(geo.Point{X: r.Min.X - pad, Y: r.Min.Y - pad})
+	r.Max = s.top.Arena.Clamp(geo.Point{X: r.Max.X + pad, Y: r.Max.Y + pad})
+	s.hotMicros, s.hotArena = hot, r
+	return hot, r
 }
 
 // mnHome returns the i-th MN's home address inside the HA prefix.
@@ -499,6 +564,22 @@ func (s *scenario) runMobileIP() error {
 		}
 		s.faultHooks.registered = func(i int) bool { return mns[i].Registered() }
 	}
+	if ch := s.controlHooks; ch != nil {
+		// Flat Mobile IP has no per-root admission budgets (no elastic
+		// hooks), but pre-paging maps directly onto forced
+		// re-registration of unregistered MNs.
+		ch.prePage = func() int {
+			n := 0
+			for _, mn := range mns {
+				if mn.Registered() {
+					continue
+				}
+				mn.Reregister()
+				n++
+			}
+			return n
+		}
+	}
 	return nil
 }
 
@@ -708,6 +789,10 @@ func (s *scenario) runMultiTier() error {
 
 	pol := multitier.DefaultPolicy()
 	byAddr := make(map[addr.IP]*metrics.Breakdown, s.cfg.NumMNs)
+	var mobs []*multitier.Mobile
+	if s.controlHooks != nil {
+		mobs = make([]*multitier.Mobile, s.cfg.NumMNs)
+	}
 	for i := 0; i < s.cfg.NumMNs; i++ {
 		home := mnHome(i)
 		prof := &multitier.Profile{
@@ -723,6 +808,9 @@ func (s *scenario) runMultiTier() error {
 		mob.OnData = s.onDelivered(i)
 		mob.OnHandoff = func(multitier.HandoffKind, time.Duration) { s.noteHandoff(i) }
 		mob.OnLocationSignal = s.signalSink(i)
+		if mobs != nil {
+			mobs[i] = mob
+		}
 		if bd := s.breakdown(i); bd != nil {
 			byAddr[home] = bd
 		}
@@ -760,7 +848,118 @@ func (s *scenario) runMultiTier() error {
 			return false
 		}
 	}
+
+	if ch := s.controlHooks; ch != nil {
+		s.wireMultiTierControl(ch, fab, mobs)
+	}
 	return nil
+}
+
+// wireMultiTierControl populates the control hooks with the multi-tier
+// levers: per-root station groups for elastic budget shifting and the
+// forced location refresh behind pre-paging. Every grouping walks the
+// topology's cell slice (id order), so hook behaviour is deterministic.
+func (s *scenario) wireMultiTierControl(ch *controlState, fab *multitier.Fabric, mobs []*multitier.Mobile) {
+	rootIdx := make(map[topology.CellID]int, len(fab.Roots))
+	ch.rootNames = make([]string, len(fab.Roots))
+	for ri, root := range fab.Roots {
+		ch.rootNames[ri] = root.Cell().Name
+		rootIdx[root.Cell().ID] = ri
+	}
+	// Stations grouped per root and tier, in cell-id order: shifts pair
+	// the hot root's k-th station of a tier with the donor's k-th, so a
+	// uniform grid trades budget symmetrically.
+	tiers := []topology.Tier{topology.TierPico, topology.TierMicro, topology.TierMacro, topology.TierRoot}
+	tierIdx := map[topology.Tier]int{topology.TierPico: 0, topology.TierMicro: 1, topology.TierMacro: 2, topology.TierRoot: 3}
+	grouped := make([][][]*multitier.Station, len(fab.Roots))
+	for ri := range grouped {
+		grouped[ri] = make([][]*multitier.Station, len(tiers))
+	}
+	for _, c := range s.top.Cells {
+		ri := rootIdx[s.top.RootOf(c.ID)]
+		ti := tierIdx[c.Tier]
+		grouped[ri][ti] = append(grouped[ri][ti], fab.Station(c.ID))
+	}
+
+	// The hot signal: aggregate channel occupancy of the root's micro
+	// stations — the tier slow traffic camps on, which saturates long
+	// before the root's own umbrella pool sees a single session (picos
+	// are excluded: their tight radii leave most of them out of range of
+	// any crowd, so they would only dilute the gauge). The probes exist
+	// only on control runs, so nil-Control traces keep their exact
+	// series set.
+	for ri, name := range ch.rootNames {
+		micros := grouped[ri][1]
+		s.trace.AddProbe(microOccPrefix+name, func() float64 {
+			used, total := 0, 0
+			for _, st := range micros {
+				used += st.Resources().Channels.InUse()
+				total += st.Resources().Channels.Total()
+			}
+			if total == 0 {
+				return 1
+			}
+			return float64(used) / float64(total)
+		})
+	}
+
+	type budgetMove struct {
+		from, to *multitier.Station
+		ch       int
+		bps      float64
+	}
+	moves := make([][]budgetMove, len(fab.Roots))
+	ch.shift = func(hot, donor int, frac float64) int {
+		total := 0
+		for ti := range tiers {
+			hs, ds := grouped[hot][ti], grouped[donor][ti]
+			n := len(hs)
+			if len(ds) < n {
+				n = len(ds)
+			}
+			for k := 0; k < n; k++ {
+				dres, hres := ds[k].Resources(), hs[k].Resources()
+				wantCh := int(frac * float64(dres.Channels.Total()))
+				wantBPS := frac * dres.Bandwidth.Capacity()
+				chMoved := -dres.Channels.Grow(-wantCh)
+				bpsMoved := -dres.Bandwidth.Grow(-wantBPS)
+				if chMoved <= 0 && bpsMoved <= 0 {
+					continue
+				}
+				hres.Channels.Grow(chMoved)
+				hres.Bandwidth.Grow(bpsMoved)
+				moves[hot] = append(moves[hot], budgetMove{from: ds[k], to: hs[k], ch: chMoved, bps: bpsMoved})
+				total += chMoved
+			}
+		}
+		return total
+	}
+	ch.revert = func(hot int) int {
+		total := 0
+		ms := moves[hot]
+		for k := len(ms) - 1; k >= 0; k-- {
+			m := ms[k]
+			back := -m.to.Resources().Channels.Grow(-m.ch)
+			m.from.Resources().Channels.Grow(back)
+			bpsBack := -m.to.Resources().Bandwidth.Grow(-m.bps)
+			m.from.Resources().Bandwidth.Grow(bpsBack)
+			total += back
+		}
+		moves[hot] = ms[:0]
+		return total
+	}
+	ch.prePage = func() int {
+		n := 0
+		for i, mob := range mobs {
+			if s.faultHooks != nil && s.faultHooks.registered != nil && s.faultHooks.registered(i) {
+				continue
+			}
+			if mob.ForceLocationRefresh() {
+				n++
+			}
+		}
+		return n
+	}
 }
 
 // summarize condenses the registry into the comparison row. LossRate is

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+)
+
+// The golden E13 file pins the byte-exact closed-loop matrix at a fixed
+// seed: the windowed occupancy aggregates, the hysteresis state machine,
+// the alert-driven budget shifts and reverts, and the survival-dip
+// pre-paging rounds are all decided from sim-time samples on the
+// sampling cadence, so the whole feedback loop is pinned down to the
+// byte. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenE13 -update-golden
+const goldenE13Path = "testdata/golden_e13.txt"
+
+// goldenE13Matrix is the pinned miniature matrix: one crowd at the
+// smallest population that both dimensions to a 2-root arena (so
+// elastic admission has a donor) and saturates the hot root's fixed
+// 4-domain small-cell floor budget (so the 0.80 occupancy trigger
+// actually trips).
+func goldenE13Matrix() ClosedLoopMatrix {
+	m := DefaultClosedLoopMatrix()
+	m.Populations = []int{500}
+	return m
+}
+
+// goldenE13Options scale each run to 4 virtual seconds, like E11: the
+// blackout recovery needs room after the outage window closes.
+func goldenE13Options() Options {
+	return Options{Seed: 7, TimeScale: 0.4, Reps: 1, Parallel: 1}
+}
+
+func TestGoldenE13ByteIdentical(t *testing.T) {
+	tbl, err := E13ClosedLoop(goldenE13Options(), goldenE13Matrix())
+	if err != nil {
+		t.Fatalf("E13ClosedLoop: %v", err)
+	}
+	got := tbl.String() + "\n"
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenE13Path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenE13Path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenE13Path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenE13Path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("E13 output diverged from golden.\nFirst diff at byte %d.\ngot:\n%s\nwant:\n%s",
+			firstDiff(got, string(want)), got, want)
+	}
+}
+
+// TestGoldenE13ParallelMatches proves closed-loop runs are safe under
+// the job-level worker pool.
+func TestGoldenE13ParallelMatches(t *testing.T) {
+	opt := goldenE13Options()
+	seq, err := E13ClosedLoop(opt, goldenE13Matrix())
+	if err != nil {
+		t.Fatalf("sequential E13: %v", err)
+	}
+	opt.Parallel = 8
+	par, err := E13ClosedLoop(opt, goldenE13Matrix())
+	if err != nil {
+		t.Fatalf("parallel E13: %v", err)
+	}
+	if s, p := seq.String(), par.String(); s != p {
+		t.Fatalf("parallel E13 diverged from sequential at byte %d", firstDiff(s, p))
+	}
+}
+
+// TestGoldenE13ParallelMeasurementMatches is the tentpole's determinism
+// claim: monitor decisions derive only from sim-time samples, so the
+// closed loop under the per-scenario parallel measurement phase renders
+// the exact golden bytes.
+func TestGoldenE13ParallelMeasurementMatches(t *testing.T) {
+	want, err := os.ReadFile(goldenE13Path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	opt := goldenE13Options()
+	opt.MeasureWorkers = 4
+	tbl, err := E13ClosedLoop(opt, goldenE13Matrix())
+	if err != nil {
+		t.Fatalf("E13ClosedLoop: %v", err)
+	}
+	if got := tbl.String() + "\n"; got != string(want) {
+		t.Fatalf("parallel-measurement E13 diverged from golden at byte %d", firstDiff(got, string(want)))
+	}
+}
+
+// TestE13ClosedLoopImproves pins the ISSUE's acceptance criterion on a
+// single blackout cell: against the open-loop twin of the same run, the
+// closed loop must actually shift budget (the hot alert fired), must
+// actually pre-page (the dip alert fired), shed strictly less capacity
+// on admission, and recover no slower.
+func TestE13ClosedLoopImproves(t *testing.T) {
+	opt := goldenE13Options()
+	m := goldenE13Matrix()
+	blackout := closedLoopProfiles()[1]
+	dim, err := capacity.New(500, m.Spec, m.Planner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(closed bool) *core.Result {
+		cfg := e13Config(opt, m, dim, 500, blackout, closed)
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("core.Run(closed=%v): %v", closed, err)
+		}
+		return res
+	}
+	open, closed := run(false), run(true)
+
+	if v := closed.Registry.Counter("ctl.shift.count").Value(); v == 0 {
+		t.Error("closed loop shifted no budget (hot-occupancy alert never raised)")
+	}
+	if v := closed.Registry.Counter("ctl.prepage.signals").Value(); v == 0 {
+		t.Error("closed loop sent no pre-paging signals (survival-dip alert never raised)")
+	}
+	openShed := open.Registry.Counter("tier.admission.shed_capacity").Value()
+	closedShed := closed.Registry.Counter("tier.admission.shed_capacity").Value()
+	if closedShed >= openShed {
+		t.Errorf("closed loop shed %d capacity refusals, open loop %d; want strictly fewer", closedShed, openShed)
+	}
+	openT90 := open.Registry.Sample("fault.recovery.t90_s")
+	closedT90 := closed.Registry.Sample("fault.recovery.t90_s")
+	if openT90.Count() == 0 || closedT90.Count() == 0 {
+		t.Fatalf("t90 samples missing: open %d, closed %d", openT90.Count(), closedT90.Count())
+	}
+	if closedT90.Mean() > openT90.Mean() {
+		t.Errorf("closed-loop t90 %.3fs slower than open-loop %.3fs; pre-paging must not hurt recovery",
+			closedT90.Mean(), openT90.Mean())
+	}
+	t.Logf("shed: open %d closed %d; t90: open %.3fs closed %.3fs; shifts %d (ch %d) prepages %d",
+		openShed, closedShed, openT90.Mean(), closedT90.Mean(),
+		closed.Registry.Counter("ctl.shift.count").Value(),
+		closed.Registry.Counter("ctl.shift.channels").Value(),
+		closed.Registry.Counter("ctl.prepage.signals").Value())
+}
+
+// TestE13RejectsBadMatrix exercises axis, profile and cadence
+// validation before any scenario runs.
+func TestE13RejectsBadMatrix(t *testing.T) {
+	base := goldenE13Matrix()
+	cases := map[string]func(*ClosedLoopMatrix){
+		"empty":        func(m *ClosedLoopMatrix) { m.Populations = nil },
+		"non-positive": func(m *ClosedLoopMatrix) { m.Populations = []int{0, 40} },
+		"unsorted":     func(m *ClosedLoopMatrix) { m.Populations = []int{80, 40} },
+		"no-duration":  func(m *ClosedLoopMatrix) { m.Duration = 0 },
+		"no-spec":      func(m *ClosedLoopMatrix) { m.Spec = fleet.Spec{} },
+		"neg-sample":   func(m *ClosedLoopMatrix) { m.SampleInterval = -time.Second },
+		"nil-plan":     func(m *ClosedLoopMatrix) { m.Profiles = []faults.NamedPlan{{Name: "x"}} },
+		"unnamed":      func(m *ClosedLoopMatrix) { m.Profiles = []faults.NamedPlan{{Plan: &faults.Plan{}}} },
+		"bad-planner":  func(m *ClosedLoopMatrix) { m.Planner.MNsPerMicro = -1 },
+	}
+	for name, mutate := range cases {
+		m := base
+		mutate(&m)
+		if _, err := E13ClosedLoop(goldenE13Options(), m); err == nil {
+			t.Errorf("%s matrix accepted", name)
+		}
+	}
+}

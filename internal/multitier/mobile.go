@@ -406,6 +406,21 @@ func (m *Mobile) goActive() {
 	m.restartTickers()
 }
 
+// ForceLocationRefresh sends the MN's Location Message immediately,
+// outside its own ticker cadence. The closed control loop's pre-paging
+// policy uses it after a fault: an idle MN would otherwise wait out the
+// long paging interval before its refresh rebuilds the wiped anchor
+// registration. The MN's tickers are untouched — this only pulls one
+// refresh forward. Reports false when no serving station exists to
+// signal through.
+func (m *Mobile) ForceLocationRefresh() bool {
+	if m.serving == nil {
+		return false
+	}
+	m.sendLocation()
+	return true
+}
+
 // sendLocation emits the periodic Location Message. Idle MNs send the
 // same message at the longer paging interval — that interval difference
 // is exactly the idle-mode signalling saving E8 measures.

@@ -36,6 +36,8 @@ type jsonLine struct {
 	Series string   `json:"series,omitempty"`
 	V      *float64 `json:"v,omitempty"`
 
+	Rule string `json:"rule,omitempty"`
+
 	Events  *int    `json:"events,omitempty"`
 	Dropped *uint64 `json:"dropped,omitempty"`
 	Samples *int    `json:"samples,omitempty"`
@@ -52,6 +54,9 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, `{"trace":%q,"scheme":%q,"seed":%d,"mns":%d,"duration_ns":%d}`+"\n",
 		traceVersion, t.Meta.Scheme, t.Meta.Seed, t.Meta.MNs, int64(t.Meta.Duration))
+	for i, name := range t.rules {
+		fmt.Fprintf(bw, `{"rule":%q,"aux":%d}`+"\n", name, i)
+	}
 	for i := range t.events {
 		e := &t.events[i]
 		fmt.Fprintf(bw, `{"at_ns":%d,"kind":%q,"actor":%d,"cell":%d,"aux":%d,"val":%d}`+"\n",
@@ -74,30 +79,43 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// ReadJSONL parses a JSONL export back into a Trace (events, series and
-// meta; probes and capacity do not round-trip). It tolerates unknown
-// fields so newer writers stay readable.
+// ReadJSONL parses a JSONL export back into a Trace (events, series,
+// rule names and meta; probes and capacity do not round-trip). It
+// tolerates unknown fields so newer writers stay readable, but rejects
+// structural damage with a line-numbered error: a corrupt or
+// half-written line, records after the trailer, and — because every
+// complete export ends with a trailer — a file cut short before it.
 func ReadJSONL(r io.Reader) (*Trace, error) {
 	t := &Trace{byName: make(map[string]*Series)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
+	sawHeader, sawTrailer := false, false
 	for sc.Scan() {
 		lineNo++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
+		if sawTrailer {
+			return nil, fmt.Errorf("obs: line %d: record after trailer (corrupt or concatenated trace)", lineNo)
+		}
 		var l jsonLine
 		if err := json.Unmarshal(raw, &l); err != nil {
-			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			return nil, fmt.Errorf("obs: line %d: corrupt record: %w", lineNo, err)
 		}
 		switch {
 		case l.TraceVersion != "":
 			if l.TraceVersion != traceVersion {
 				return nil, fmt.Errorf("obs: unsupported trace version %q", l.TraceVersion)
 			}
+			sawHeader = true
 			t.Meta = Meta{Scheme: l.Scheme, Seed: l.Seed, MNs: l.MNs, Duration: time.Duration(l.DurationNS)}
+		case l.Rule != "":
+			if int(l.Aux) != len(t.rules) {
+				return nil, fmt.Errorf("obs: line %d: rule %q declares aux %d, want %d", lineNo, l.Rule, l.Aux, len(t.rules))
+			}
+			t.rules = append(t.rules, l.Rule)
 		case l.Series != "":
 			if l.V == nil {
 				return nil, fmt.Errorf("obs: line %d: series point without value", lineNo)
@@ -113,6 +131,7 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 				Actor: l.Actor, Cell: l.Cell, Aux: l.Aux, Val: l.Val,
 			})
 		case l.Events != nil || l.Dropped != nil:
+			sawTrailer = true
 			if l.Dropped != nil {
 				t.dropped = *l.Dropped
 			}
@@ -127,7 +146,13 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("obs: line %d: %w", lineNo+1, err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("obs: no trace header in %d lines (not a JSONL trace?)", lineNo)
+	}
+	if !sawTrailer {
+		return nil, fmt.Errorf("obs: truncated trace: no trailer after %d lines (file cut short?)", lineNo)
 	}
 	return t, nil
 }

@@ -14,7 +14,10 @@
 // Wall and excluded from the deterministic exporters.
 package obs
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Kind classifies one trace event.
 type Kind uint8
@@ -46,8 +49,10 @@ const (
 	KindPacketSent
 	KindPacketDelivered
 	KindPacketDropped
+	KindAlertRaise
+	KindAlertClear
 
-	kindCount = KindPacketDropped
+	kindCount = KindAlertClear
 )
 
 var kindNames = [...]string{
@@ -72,6 +77,8 @@ var kindNames = [...]string{
 	KindPacketSent:       "pkt.sent",
 	KindPacketDelivered:  "pkt.delivered",
 	KindPacketDropped:    "pkt.dropped",
+	KindAlertRaise:       "alert.raise",
+	KindAlertClear:       "alert.clear",
 }
 
 // String returns the stable wire name of the kind (used by the JSONL
@@ -184,6 +191,11 @@ type Trace struct {
 	byName  map[string]*Series
 	probes  []probe
 	sampled int // SampleAll invocations, = points per probe series
+
+	// rules are the monitor rule names in registration order; alert
+	// events carry the rule index in Aux, and the JSONL export declares
+	// the names so timelines stay readable after a round-trip.
+	rules []string
 }
 
 // New builds a trace with the config's capacity pre-allocated.
@@ -246,6 +258,44 @@ func (t *Trace) SeriesByName(name string) *Series {
 	t.byName[name] = s
 	t.series = append(t.series, s)
 	return s
+}
+
+// Lookup returns the named series without creating it (nil when absent
+// or on a nil receiver). Monitors resolve their series through this, so
+// a rule over an absent series never perturbs registration order.
+//
+//mmlint:noalloc
+func (t *Trace) Lookup(name string) *Series {
+	if t == nil {
+		return nil
+	}
+	return t.byName[name]
+}
+
+// declareRule records a monitor rule name (registration order = alert
+// event Aux) for the exporters.
+func (t *Trace) declareRule(name string) {
+	if t == nil {
+		return
+	}
+	t.rules = append(t.rules, name)
+}
+
+// RuleNames returns the declared monitor rule names in registration
+// order; alert events index into this via their Aux operand.
+func (t *Trace) RuleNames() []string {
+	if t == nil {
+		return nil
+	}
+	return t.rules
+}
+
+// RuleName resolves an alert event's Aux operand to its rule name.
+func (t *Trace) RuleName(aux int32) string {
+	if t == nil || aux < 0 || int(aux) >= len(t.rules) {
+		return fmt.Sprintf("rule#%d", aux)
+	}
+	return t.rules[aux]
 }
 
 // AllSeries returns every series in registration order.

@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -169,5 +171,70 @@ func TestReadJSONLRejectsGarbage(t *testing.T) {
 		if _, err := ReadJSONL(bytes.NewReader([]byte(in))); err == nil {
 			t.Fatalf("ReadJSONL accepted %q", in)
 		}
+	}
+}
+
+// TestReadJSONLStructuralErrors pins the line-numbered diagnostics:
+// truncation, trailing garbage, and mid-file corruption each name the
+// exact line so a mangled multi-megabyte trace is debuggable.
+func TestReadJSONLStructuralErrors(t *testing.T) {
+	export := func() string {
+		var buf bytes.Buffer
+		if err := testTrace().WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	lines := strings.Split(strings.TrimSuffix(export, "\n"), "\n")
+
+	cases := []struct {
+		name, in, want string
+	}{
+		{"truncated", strings.Join(lines[:len(lines)-1], "\n") + "\n",
+			"truncated trace: no trailer"},
+		{"after-trailer", export + lines[1] + "\n",
+			"line " + fmt.Sprint(len(lines)+1) + ": record after trailer"},
+		{"corrupt-line-2", lines[0] + "\n{broken\n",
+			"line 2: corrupt record"},
+		{"no-header", `{"events":0,"dropped":0,"samples":0}` + "\n",
+			"no trace header"},
+		{"event-miscount", lines[0] + "\n" + `{"events":7,"dropped":0,"samples":0}` + "\n",
+			"trailer claims 7 events, read 0"},
+	}
+	for _, c := range cases {
+		_, err := ReadJSONL(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestReadJSONLRuleRoundTrip pins rule-name declarations surviving the
+// round trip and the aux-index consistency check.
+func TestReadJSONLRuleRoundTrip(t *testing.T) {
+	tr := testTrace()
+	tr.declareRule("occ.hot.root-0")
+	tr.declareRule("survival.dip")
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := got.RuleNames()
+	if len(names) != 2 || names[0] != "occ.hot.root-0" || names[1] != "survival.dip" {
+		t.Fatalf("rule names = %v", names)
+	}
+	// A rule line whose aux does not match its position is corruption.
+	in := `{"trace":"v1","scheme":"s","seed":1,"mns":1,"duration_ns":1}` + "\n" +
+		`{"rule":"x","aux":3}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "aux 3, want 0") {
+		t.Fatalf("aux mismatch error = %v", err)
 	}
 }

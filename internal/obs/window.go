@@ -1,0 +1,121 @@
+package obs
+
+import "time"
+
+// Windowed queries: sliding sim-time-window aggregates over a Series.
+// These are the read side of the observability layer — any component on
+// the sampling cadence can ask "occupancy of root R over the last 30
+// sim-seconds" without copying points. All queries scan the series'
+// column slices in place and allocate nothing, so they are safe on the
+// sampling hot path (monitors call them on every tick).
+
+// WindowStats are the aggregates of one sim-time window query.
+type WindowStats struct {
+	// Count is how many points fell inside the window.
+	Count int
+	// Mean, Min and Max summarize the points in the window.
+	Mean, Min, Max float64
+	// First and Last are the oldest and newest values in the window.
+	First, Last float64
+	// Slope is the least-squares linear trend in value units per
+	// sim-second — positive means the series trends up across the
+	// window. Zero when the window holds fewer than two points or no
+	// time spread.
+	Slope float64
+}
+
+// Window aggregates the points with from <= At <= to — both edges
+// inclusive, so a sample landing exactly on a window boundary counts.
+// Points are appended in observation order (monotonic At), so the scan
+// walks backward from the end and stops at the first point before the
+// window. Zero allocation; ok is false when no point falls inside.
+//
+//mmlint:noalloc
+func (s *Series) Window(from, to time.Duration) (st WindowStats, ok bool) {
+	if s == nil || from > to {
+		return WindowStats{}, false
+	}
+	lo, hi := s.windowBounds(from, to)
+	if lo > hi {
+		return WindowStats{}, false
+	}
+	st.Count = hi - lo + 1
+	st.First = s.Val[lo]
+	st.Last = s.Val[hi]
+	st.Min = s.Val[lo]
+	st.Max = s.Val[lo]
+	// One pass accumulates the mean and the least-squares sums. Times
+	// are shifted to the window's first sample so the products stay
+	// small; the slope is scale-free in that shift.
+	var sum, st2, stv, sts float64
+	t0 := s.At[lo]
+	for i := lo; i <= hi; i++ {
+		v := s.Val[i]
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		ts := (s.At[i] - t0).Seconds()
+		sts += ts
+		st2 += ts * ts
+		stv += ts * v
+	}
+	n := float64(st.Count)
+	st.Mean = sum / n
+	if denom := n*st2 - sts*sts; st.Count >= 2 && denom != 0 {
+		st.Slope = (n*stv - sts*sum) / denom
+	}
+	return st, true
+}
+
+// EWMA folds the window's points (oldest first) through an exponentially
+// weighted moving average with the given smoothing factor alpha in
+// (0, 1], seeded with the oldest value. Zero allocation; ok is false
+// when the window is empty or alpha is out of range.
+//
+//mmlint:noalloc
+func (s *Series) EWMA(from, to time.Duration, alpha float64) (v float64, ok bool) {
+	if s == nil || from > to || alpha <= 0 || alpha > 1 {
+		return 0, false
+	}
+	lo, hi := s.windowBounds(from, to)
+	if lo > hi {
+		return 0, false
+	}
+	v = s.Val[lo]
+	for i := lo + 1; i <= hi; i++ {
+		v = alpha*s.Val[i] + (1-alpha)*v
+	}
+	return v, true
+}
+
+// Last returns the most recent point, if any.
+//
+//mmlint:noalloc
+func (s *Series) Last() (at time.Duration, v float64, ok bool) {
+	if s == nil || len(s.At) == 0 {
+		return 0, 0, false
+	}
+	n := len(s.At) - 1
+	return s.At[n], s.Val[n], true
+}
+
+// windowBounds returns the index range [lo, hi] of the points with
+// from <= At <= to, scanning backward from the newest point (queries
+// are anchored at "now", so the window is near the end).
+//
+//mmlint:noalloc
+func (s *Series) windowBounds(from, to time.Duration) (lo, hi int) {
+	hi = len(s.At) - 1
+	for hi >= 0 && s.At[hi] > to {
+		hi--
+	}
+	lo = hi
+	for lo >= 0 && s.At[lo] >= from {
+		lo--
+	}
+	return lo + 1, hi
+}

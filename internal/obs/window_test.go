@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// rampSeries holds points at 1s, 2s, ..., n seconds with value = index+1
+// (1, 2, ..., n): slope exactly 1/s, handy for boundary arithmetic.
+func rampSeries(n int) *Series {
+	s := &Series{Name: "ramp"}
+	for i := 0; i < n; i++ {
+		s.Observe(time.Duration(i+1)*time.Second, float64(i+1))
+	}
+	return s
+}
+
+// TestWindowBoundaryInclusive pins the exact edge semantics: both window
+// edges are inclusive, so samples landing exactly on from or to count.
+func TestWindowBoundaryInclusive(t *testing.T) {
+	s := rampSeries(5) // points at 1s..5s
+	cases := []struct {
+		from, to    time.Duration
+		count       int
+		first, last float64
+	}{
+		{2 * time.Second, 4 * time.Second, 3, 2, 4},                 // both edges on samples
+		{1 * time.Second, 5 * time.Second, 5, 1, 5},                 // full span
+		{1500 * time.Millisecond, 4500 * time.Millisecond, 3, 2, 4}, // edges between samples
+		{3 * time.Second, 3 * time.Second, 1, 3, 3},                 // degenerate window on a sample
+		{2500 * time.Millisecond, 2600 * time.Millisecond, 0, 0, 0}, // between samples
+		{6 * time.Second, 9 * time.Second, 0, 0, 0},                 // entirely after
+		{0, 500 * time.Millisecond, 0, 0, 0},                        // entirely before
+		{4500 * time.Millisecond, 100 * time.Second, 1, 5, 5},       // open-ended tail
+	}
+	for _, c := range cases {
+		st, ok := s.Window(c.from, c.to)
+		if c.count == 0 {
+			if ok {
+				t.Errorf("Window(%v, %v) ok, want empty", c.from, c.to)
+			}
+			continue
+		}
+		if !ok || st.Count != c.count || st.First != c.first || st.Last != c.last {
+			t.Errorf("Window(%v, %v) = count %d first %v last %v ok %v, want %d/%v/%v",
+				c.from, c.to, st.Count, st.First, st.Last, ok, c.count, c.first, c.last)
+		}
+	}
+	if _, ok := s.Window(3*time.Second, 2*time.Second); ok {
+		t.Error("inverted window reported ok")
+	}
+	var nilSeries *Series
+	if _, ok := nilSeries.Window(0, time.Second); ok {
+		t.Error("nil series reported ok")
+	}
+}
+
+// TestWindowStatsGolden pins the aggregate arithmetic on hand-computed
+// values, including the least-squares slope.
+func TestWindowStatsGolden(t *testing.T) {
+	s := &Series{Name: "g"}
+	s.Observe(1*time.Second, 2)
+	s.Observe(2*time.Second, 6)
+	s.Observe(3*time.Second, 4)
+	s.Observe(4*time.Second, 8)
+	st, ok := s.Window(1*time.Second, 4*time.Second)
+	if !ok {
+		t.Fatal("window empty")
+	}
+	if st.Count != 4 || st.Mean != 5 || st.Min != 2 || st.Max != 8 || st.First != 2 || st.Last != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Least squares over (0,2) (1,6) (2,4) (3,8): slope = 1.6/s.
+	if math.Abs(st.Slope-1.6) > 1e-12 {
+		t.Fatalf("slope = %v, want 1.6", st.Slope)
+	}
+	// A perfect ramp has slope exactly 1/s.
+	st, _ = rampSeries(10).Window(0, 10*time.Second)
+	if math.Abs(st.Slope-1) > 1e-12 {
+		t.Fatalf("ramp slope = %v, want 1", st.Slope)
+	}
+	// A single point has zero slope by definition.
+	st, _ = rampSeries(10).Window(3*time.Second, 3*time.Second)
+	if st.Slope != 0 {
+		t.Fatalf("single-point slope = %v, want 0", st.Slope)
+	}
+}
+
+// TestEWMAGolden pins the fold: seeded with the oldest value, newest
+// weighted by alpha.
+func TestEWMAGolden(t *testing.T) {
+	s := &Series{Name: "e"}
+	s.Observe(1*time.Second, 1)
+	s.Observe(2*time.Second, 2)
+	s.Observe(3*time.Second, 3)
+	// alpha 0.5: 1 -> 0.5*2+0.5*1 = 1.5 -> 0.5*3+0.5*1.5 = 2.25
+	v, ok := s.EWMA(0, 3*time.Second, 0.5)
+	if !ok || v != 2.25 {
+		t.Fatalf("EWMA = %v ok %v, want 2.25", v, ok)
+	}
+	// alpha 1 degenerates to the newest value.
+	if v, _ := s.EWMA(0, 3*time.Second, 1); v != 3 {
+		t.Fatalf("alpha-1 EWMA = %v, want 3", v)
+	}
+	// Out-of-range alphas and empty windows report !ok.
+	if _, ok := s.EWMA(0, 3*time.Second, 0); ok {
+		t.Error("alpha 0 accepted")
+	}
+	if _, ok := s.EWMA(0, 3*time.Second, 1.5); ok {
+		t.Error("alpha 1.5 accepted")
+	}
+	if _, ok := s.EWMA(10*time.Second, 20*time.Second, 0.5); ok {
+		t.Error("empty window reported ok")
+	}
+}
+
+func TestSeriesLast(t *testing.T) {
+	var nilSeries *Series
+	if _, _, ok := nilSeries.Last(); ok {
+		t.Error("nil series has a last point")
+	}
+	s := &Series{Name: "l"}
+	if _, _, ok := s.Last(); ok {
+		t.Error("empty series has a last point")
+	}
+	s.Observe(time.Second, 7)
+	s.Observe(2*time.Second, 9)
+	if at, v, ok := s.Last(); !ok || at != 2*time.Second || v != 9 {
+		t.Errorf("Last = %v %v %v", at, v, ok)
+	}
+}
+
+// TestWindowQueriesNoAlloc pins the zero-allocation contract of the
+// read path: monitors call these on every sampling tick.
+func TestWindowQueriesNoAlloc(t *testing.T) {
+	s := rampSeries(1024)
+	var sink float64
+	allocs := testing.AllocsPerRun(256, func() {
+		st, _ := s.Window(900*time.Second, 1024*time.Second)
+		v, _ := s.EWMA(900*time.Second, 1024*time.Second, 0.3)
+		_, l, _ := s.Last()
+		sink = st.Mean + st.Slope + v + l
+	})
+	if allocs != 0 {
+		t.Fatalf("window queries allocated %v per op (sink %v)", allocs, sink)
+	}
+}

@@ -69,6 +69,20 @@ func (p *ChannelPool) Utilization() float64 {
 	return float64(p.inUse) / float64(p.total)
 }
 
+// Grow adjusts the pool's channel count by delta (negative shrinks) and
+// returns the delta actually applied. Shrinks clamp so total never drops
+// below the guard reserve — elastic budget shifting may starve a donor's
+// new-call capacity but never its handoff floor. A shrink can leave
+// inUse above total; in-progress sessions keep their channels and the
+// pool simply refuses admissions until releases catch up.
+func (p *ChannelPool) Grow(delta int) int {
+	if p.total+delta < p.guard {
+		delta = p.guard - p.total
+	}
+	p.total += delta
+	return delta
+}
+
 // AdmitNew takes a channel for a new session, failing when only guard
 // channels remain.
 func (p *ChannelPool) AdmitNew() error {
@@ -123,6 +137,18 @@ func (b *BandwidthPool) Used() float64 { return b.used }
 
 // Available returns the unreserved bandwidth in bps.
 func (b *BandwidthPool) Available() float64 { return b.capacity - b.used }
+
+// Grow adjusts capacity by delta bps (negative shrinks, clamped at
+// zero capacity) and returns the delta actually applied. A shrink can
+// leave used above capacity; existing reservations survive and new
+// ones are refused until releases catch up.
+func (b *BandwidthPool) Grow(delta float64) float64 {
+	if b.capacity+delta < 0 {
+		delta = -b.capacity
+	}
+	b.capacity += delta
+	return delta
+}
 
 // Reserve takes bps from the pool.
 func (b *BandwidthPool) Reserve(bps float64) error {

@@ -44,6 +44,7 @@ var Analyzer = &analysis.Analyzer{
 const (
 	simtimePkg = "repro/internal/simtime"
 	netsimPkg  = "repro/internal/netsim"
+	obsPkg     = "repro/internal/obs"
 )
 
 // effects are calls whose order between iterations is observable in
@@ -70,6 +71,13 @@ var effects = map[analysis.FuncRef]bool{
 	{Pkg: netsimPkg, Recv: "StaticRouter", Name: "Forward"}:  true,
 	{Pkg: netsimPkg, Recv: "StaticRouter", Name: "Receive"}:  true,
 	{Pkg: netsimPkg, Recv: "StaticRouter", Name: "AddRoute"}: true,
+
+	// Trace.Emit appends to the shared event buffer (export order is
+	// emission order) and Monitor.Eval both reads sampled series and
+	// emits alert events plus policy callbacks, so calling either from
+	// a map range bakes map order into the trace bytes.
+	{Pkg: obsPkg, Recv: "Trace", Name: "Emit"}:   true,
+	{Pkg: obsPkg, Recv: "Monitor", Name: "Eval"}: true,
 
 	{Pkg: "fmt", Name: "Print"}:    true,
 	{Pkg: "fmt", Name: "Printf"}:   true,

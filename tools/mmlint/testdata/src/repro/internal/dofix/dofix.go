@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -68,4 +69,22 @@ func bans() int64 {
 	t := time.Now()                           // want "time.Now in simulator code"
 	go func() {}()                            // want "bare goroutine"
 	return t.UnixNano() + int64(rand.Intn(4)) // want "global rand.Intn draw"
+}
+
+func telemetryInRange(tr *obs.Trace, mon *obs.Monitor, cells map[int]int64) {
+	for _, at := range cells {
+		tr.Emit(at, 1, 0, 0, 0, 0) // want "Trace.Emit inside a map range"
+		mon.Eval(at)               // want "Monitor.Eval inside a map range"
+	}
+}
+
+func telemetrySortedClean(tr *obs.Trace, cells map[int]int64) {
+	keys := make([]int, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		tr.Emit(cells[k], 1, 0, 0, 0, 0)
+	}
 }

@@ -1,0 +1,13 @@
+// Package obs is a fixture standing in for the real repro/internal/obs:
+// Trace.Emit appends to the shared event buffer and Monitor.Eval reads
+// samples, emits alert events and runs policy callbacks, so detorder
+// treats both as order-sensitive effects inside map ranges.
+package obs
+
+type Trace struct{ n int }
+
+func (t *Trace) Emit(at int64, kind, actor, cell, aux int32, val int64) { t.n++ }
+
+type Monitor struct{ t *Trace }
+
+func (m *Monitor) Eval(at int64) { m.t.n++ }
