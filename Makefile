@@ -11,14 +11,14 @@ OLD ?= old.txt
 NEW ?= new.txt
 # BENCH_JSON is the perf-trajectory snapshot bench-json writes and the
 # baseline bench-gate compares against.
-BENCH_JSON ?= BENCH_9.json
+BENCH_JSON ?= BENCH_10.json
 # bench-gate tuning: GATE_ONLY is the single source of truth for what
 # the gate covers — comma-separated benchmark name prefixes, passed to
 # benchjson -only and converted into the -bench run regex below, so the
 # set of benchmarks that run and the set that are gated cannot desync.
 # GATE_LIMIT is the tolerated fractional ns/op (or allocs/op) regression
 # versus the committed baseline.
-GATE_ONLY ?= BenchmarkE6,BenchmarkE9,BenchmarkE10,BenchmarkE11,BenchmarkE13
+GATE_ONLY ?= BenchmarkE6,BenchmarkE9,BenchmarkE10,BenchmarkE11,BenchmarkE13,BenchmarkE14
 GATE_BENCH = $(shell echo '$(GATE_ONLY)' | sed 's/Benchmark//g; s/,/|/g')
 GATE_LIMIT ?= 0.15
 
@@ -52,7 +52,7 @@ lint: bin/mmlint
 race:
 	$(GO) test -race ./...
 
-# race-goldens: the E9/E10/E11 golden suites with the parallel measurement
+# race-goldens: the E9–E11/E13/E14 golden suites with the parallel measurement
 # phase (MeasureWorkers=4 pinned in the tests) under the race detector —
 # byte-identity and data-race freedom of the fan-out in one run.
 race-goldens:

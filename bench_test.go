@@ -182,6 +182,22 @@ func BenchmarkE13ClosedLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkE14Degradation regenerates the degradation suite cell (the
+// three-class crowd under the registration storm, cliff and graceful):
+// its per-op cost prices the whole graceful-degradation path — the
+// ladder's occupancy evaluation, per-class defer/preempt decisions,
+// video rung switching, and GCRA-paced anchor registrations — on top
+// of a faulted multi-tier run.
+func BenchmarkE14Degradation(b *testing.B) {
+	m := experiments.SuiteDegradationMatrix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E14Degradation(benchOpt, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchAll runs the full E1–E8 suite with the given worker count; the
 // sequential/parallel pair quantifies the worker-pool speedup on the
 // whole regeneration.

@@ -11,7 +11,11 @@
 // time-to-90%-re-registered recovery. With -closedloop it runs the E13
 // closed-loop matrix: a hotspot crowd swept open-loop and again with
 // the QoE feedback loop armed (elastic admission budget shifting plus
-// survival-dip pre-paging), against each fault profile.
+// survival-dip pre-paging), against each fault profile. With -degrade it
+// runs the E14 degradation matrix: a three-class crowd swept over the
+// cliff (no policy) and again with graceful degradation armed (the
+// class-priority admission ladder, video rate adaptation, and the
+// registration-storm breaker), against each fault profile.
 //
 // Scale runs are bounded-memory by construction: each scenario owns a
 // private packet arena and per-profile metrics are streaming aggregates,
@@ -34,6 +38,8 @@
 //	mmscale -faults -trace -sample 250ms -traceout traces/  # one JSONL trace per scenario
 //	mmscale -closedloop                         # E13: open vs closed QoE feedback loop
 //	mmscale -closedloop -trace -traceout traces/  # with alert traces (mmtrace -alerts)
+//	mmscale -degrade                            # E14: cliff vs graceful degradation
+//	mmscale -degrade -faultprofiles storm       # storm rows only
 package main
 
 import (
@@ -77,7 +83,8 @@ func run(args []string) error {
 		dimension  = fs.Bool("dimension", false, "run the E10 capacity matrix: fixed vs dimensioned topology")
 		faultsRun  = fs.Bool("faults", false, "run the E11 resilience matrix: deterministic fault injection x scheme")
 		closedloop = fs.Bool("closedloop", false, "run the E13 closed-loop matrix: open vs closed QoE feedback loop x fault profile")
-		faultprofs = fs.String("faultprofiles", "", "with -faults, comma-separated fault profiles to inject (default: all standard profiles)")
+		degradeRun = fs.Bool("degrade", false, "run the E14 degradation matrix: cliff vs graceful degradation x fault profile")
+		faultprofs = fs.String("faultprofiles", "", "with -faults or -degrade, comma-separated fault profiles to inject (default: the mode's standard profiles)")
 		rootocc    = fs.Bool("rootocc", false, "with -dimension, add the per-root occupancy load-balance column")
 		density    = fs.String("density", string(capacity.DensityUrban), "dimensioning density preset (sparse|urban|dense)")
 		headroom   = fs.Float64("headroom", capacity.DefaultHeadroom, "dimensioning capacity headroom factor (>= 1)")
@@ -115,16 +122,16 @@ func run(args []string) error {
 	}
 
 	modes := 0
-	for _, on := range []bool{*faultsRun, *dimension, *closedloop} {
+	for _, on := range []bool{*faultsRun, *dimension, *closedloop, *degradeRun} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-faults, -dimension and -closedloop are mutually exclusive")
+		return fmt.Errorf("-faults, -dimension, -closedloop and -degrade are mutually exclusive")
 	}
-	if *faultprofs != "" && !*faultsRun {
-		return fmt.Errorf("-faultprofiles requires -faults")
+	if *faultprofs != "" && !*faultsRun && !*degradeRun {
+		return fmt.Errorf("-faultprofiles requires -faults or -degrade")
 	}
 
 	start := time.Now()
@@ -164,6 +171,28 @@ func run(args []string) error {
 			}
 		})
 		tbl, err = experiments.E13ClosedLoop(opt, m)
+	} else if *degradeRun {
+		profiles, perr := parseFaultProfiles(*faultprofs)
+		if perr != nil {
+			return fmt.Errorf("-faultprofiles: %w", perr)
+		}
+		// The degradation matrix runs its own three-class crowd against
+		// the multi-tier scheme only; explicit axis flags still override.
+		m := experiments.DefaultDegradationMatrix()
+		m.Profiles = profiles
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "mns":
+				m.Populations = sw.Populations
+			case "duration":
+				m.Duration = sw.Duration
+			case "fleet":
+				m.Spec = sw.Spec
+			case "sample":
+				m.SampleInterval = *sample
+			}
+		})
+		tbl, err = experiments.E14Degradation(opt, m)
 	} else if *dimension {
 		tbl, err = experiments.E10CapacityMatrix(opt, experiments.CapacityMatrix{
 			Populations: sw.Populations,

@@ -190,6 +190,7 @@ func printSummary(out io.Writer, tr *obs.Trace) {
 	}
 
 	printRecovery(out, tr)
+	printDegrade(out, tr, counts)
 
 	if series := tr.AllSeries(); len(series) > 0 {
 		fmt.Fprintln(out, "\nseries:")
@@ -229,6 +230,56 @@ func printRecovery(out io.Writer, tr *obs.Trace) {
 		if s.Val[i] != prev {
 			prev = s.Val[i]
 			fmt.Fprintf(out, "  %-10v %.4f\n", s.At[i], prev)
+		}
+	}
+}
+
+// degradeKinds are the graceful-degradation event kinds in declaration
+// order, shared between the summary and diff renderings.
+var degradeKinds = []obs.Kind{
+	obs.KindDegradePreempt, obs.KindDegradeVideoStepDown, obs.KindDegradeVideoStepUp,
+	obs.KindDegradeDefer, obs.KindBreakerOpen, obs.KindBreakerHalfOpen, obs.KindBreakerClose,
+}
+
+// printDegrade renders the graceful-degradation section: video ladder
+// step counts, admission deferrals/preemptions, and the registration
+// breaker's open/half-open/close timeline. Traces recorded before the
+// degradation layer existed (or with Degrade unarmed) carry none of
+// these events; the section says so explicitly instead of vanishing.
+func printDegrade(out io.Writer, tr *obs.Trace, counts map[obs.Kind]int) {
+	fmt.Fprintln(out, "\ndegradation:")
+	total := 0
+	for _, k := range degradeKinds {
+		total += counts[k]
+	}
+	if total == 0 {
+		fmt.Fprintln(out, "  (no degrade.* events: degradation not armed, or the trace predates it)")
+		return
+	}
+	fmt.Fprintf(out, "  video: %d stepdowns, %d stepups\n",
+		counts[obs.KindDegradeVideoStepDown], counts[obs.KindDegradeVideoStepUp])
+	var flushed int64
+	for _, e := range tr.Events() {
+		if e.Kind == obs.KindDegradePreempt {
+			flushed += e.Val
+		}
+	}
+	fmt.Fprintf(out, "  admission: %d deferred, %d preempted (%d buffered packets flushed)\n",
+		counts[obs.KindDegradeDefer], counts[obs.KindDegradePreempt], flushed)
+	opens := counts[obs.KindBreakerOpen] + counts[obs.KindBreakerHalfOpen] + counts[obs.KindBreakerClose]
+	if opens == 0 {
+		fmt.Fprintln(out, "  breaker: never opened")
+		return
+	}
+	fmt.Fprintln(out, "  breaker timeline:")
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.KindBreakerOpen:
+			fmt.Fprintf(out, "    %-12v open       (queued=%d)\n", e.At, e.Val)
+		case obs.KindBreakerHalfOpen:
+			fmt.Fprintf(out, "    %-12v half-open  (queue drained)\n", e.At)
+		case obs.KindBreakerClose:
+			fmt.Fprintf(out, "    %-12v closed     (recovery probe conformed)\n", e.At)
 		}
 	}
 }
@@ -343,6 +394,31 @@ func printDiff(out io.Writer, pathA, pathB string, a, b *obs.Trace) {
 		fmt.Fprintf(out, "\nalerts: raised %d -> %d (%+d), cleared %d -> %d (%+d)\n",
 			ca[obs.KindAlertRaise], cb[obs.KindAlertRaise], cb[obs.KindAlertRaise]-ca[obs.KindAlertRaise],
 			ca[obs.KindAlertClear], cb[obs.KindAlertClear], cb[obs.KindAlertClear]-ca[obs.KindAlertClear])
+	}
+
+	fmt.Fprintln(out, "\ndegradation (A -> B):")
+	degTotal := 0
+	for _, k := range degradeKinds {
+		degTotal += ca[k] + cb[k]
+	}
+	if degTotal == 0 {
+		fmt.Fprintln(out, "  (neither trace carries degradation events)")
+	} else {
+		fmt.Fprintf(out, "  stepdowns %d -> %d (%+d), stepups %d -> %d (%+d)\n",
+			ca[obs.KindDegradeVideoStepDown], cb[obs.KindDegradeVideoStepDown],
+			cb[obs.KindDegradeVideoStepDown]-ca[obs.KindDegradeVideoStepDown],
+			ca[obs.KindDegradeVideoStepUp], cb[obs.KindDegradeVideoStepUp],
+			cb[obs.KindDegradeVideoStepUp]-ca[obs.KindDegradeVideoStepUp])
+		fmt.Fprintf(out, "  deferred %d -> %d (%+d), preempted %d -> %d (%+d)\n",
+			ca[obs.KindDegradeDefer], cb[obs.KindDegradeDefer],
+			cb[obs.KindDegradeDefer]-ca[obs.KindDegradeDefer],
+			ca[obs.KindDegradePreempt], cb[obs.KindDegradePreempt],
+			cb[obs.KindDegradePreempt]-ca[obs.KindDegradePreempt])
+		fmt.Fprintf(out, "  breaker opens %d -> %d (%+d), closes %d -> %d (%+d)\n",
+			ca[obs.KindBreakerOpen], cb[obs.KindBreakerOpen],
+			cb[obs.KindBreakerOpen]-ca[obs.KindBreakerOpen],
+			ca[obs.KindBreakerClose], cb[obs.KindBreakerClose],
+			cb[obs.KindBreakerClose]-ca[obs.KindBreakerClose])
 	}
 
 	fmt.Fprintln(out, "\nspan latencies (A -> B):")

@@ -31,6 +31,8 @@ func TestSummaryOnGoldenTrace(t *testing.T) {
 		"handoff -> first data",
 		"fault recovery (t90)",
 		"recovery curve (session.registered_frac):",
+		"degradation:",
+		"(no degrade.* events: degradation not armed, or the trace predates it)",
 		"series:",
 		"sched.heap_depth",
 		"mip.auth.cpu_ns",
@@ -63,6 +65,10 @@ func TestDiffSelfIsNeutral(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "(+0)") {
 		t.Errorf("self-diff should show zero deltas:\n%s", out)
+	}
+	if !strings.Contains(out, "degradation (A -> B):") ||
+		!strings.Contains(out, "(neither trace carries degradation events)") {
+		t.Errorf("diff missing the explicit empty degradation section:\n%s", out)
 	}
 	// No count may move when a trace is diffed against itself.
 	if strings.Contains(out, "*") {

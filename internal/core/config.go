@@ -197,6 +197,18 @@ type Config struct {
 	// sampling path — so the default path is byte-identical with or
 	// without this field present.
 	Control *ControlConfig
+	// Degrade optionally arms graceful degradation under overload: a
+	// class-priority admission ladder (defer new low-priority arrivals,
+	// preempt held lower-priority sessions for protected ones) stepped
+	// on the Obs sampling cadence from root occupancy, streaming-video
+	// rate adaptation down the ladder's bitrate rungs, and a circuit
+	// breaker that paces the HA/anchor registration path through
+	// re-registration storms. The ladder requires Obs with a positive
+	// SampleInterval; the breaker stands alone. nil arms nothing — zero
+	// events, zero rng draws, zero allocations, zero metric names — so
+	// the default path is byte-identical with or without this field
+	// present.
+	Degrade *DegradeConfig
 	// AuthCPUCostNS models the CPU cost of one MHAE sign/verify
 	// operation: each signed registration charges it once at the MN and
 	// each verification once at the HA, accumulated in the

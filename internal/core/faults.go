@@ -111,7 +111,17 @@ func (s *scenario) installFaults() error {
 		s.sched.At(ev.At, func() { s.applyFault(ev, links, orig, fm) })
 	}
 	// Session-survival probe: one sample strictly inside the run, as
-	// close to the end as the clock allows.
+	// close to the end as the clock allows. Fleet runs also attribute
+	// each MN's fate to its profile, so degradation matrices can show
+	// which traffic class survived the overload — counters registered
+	// here, at install time, in profile order.
+	var profPop, profSurv []*metrics.Counter
+	if s.fleet != nil {
+		for _, p := range s.fleet.spec.Profiles {
+			profPop = append(profPop, s.reg.Counter("fault.survival."+p.Name+".population"))
+			profSurv = append(profSurv, s.reg.Counter("fault.survival."+p.Name+".survivors"))
+		}
+	}
 	probeAt := s.cfg.Duration - time.Millisecond
 	if probeAt < 0 {
 		probeAt = 0
@@ -120,8 +130,16 @@ func (s *scenario) installFaults() error {
 		fm.population.Add(uint64(s.cfg.NumMNs))
 		n := 0
 		for i := 0; i < s.cfg.NumMNs; i++ {
+			var pi int
+			if profPop != nil {
+				pi = s.fleet.assign[i]
+				profPop[pi].Inc()
+			}
 			if h.registered(i) {
 				n++
+				if profSurv != nil {
+					profSurv[pi].Inc()
+				}
 			}
 		}
 		fm.survivors.Add(uint64(n))

@@ -85,10 +85,13 @@ func (s *scenario) installObsProbes() {
 	// rule decisions see fresh points and never any other clock. With no
 	// Control configured s.monitor stays nil and Eval is a nil-receiver
 	// no-op — zero events, zero rng draws, zero allocations.
+	// The degradation ladder steps last, after the monitor, so a floor
+	// forced by a fresh alert applies on the very tick that raised it.
 	s.sched.Every(s.cfg.Obs.SampleInterval, func() {
 		now := s.sched.Now()
 		tr.SampleAll(now)
 		s.monitor.Eval(now)
+		s.degradeTick(now)
 	})
 }
 

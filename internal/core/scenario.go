@@ -104,6 +104,10 @@ type scenario struct {
 	// the sampling tick a pure SampleAll).
 	controlHooks *controlState
 	monitor      *obs.Monitor
+	// degradeState is non-nil only when cfg.Degrade is set; the scheme
+	// builders wire admission hooks and registration pacers against it
+	// and installDegrade binds its telemetry (see degrade.go).
+	degradeState *degradeState
 
 	// hotMicros/hotArena cache the hotspot workload's target cells: the
 	// first root's micro footprint (see modelFor).
@@ -194,6 +198,18 @@ func Run(cfg Config) (*Result, error) {
 		}
 		s.controlHooks = &controlState{}
 	}
+	if cfg.Degrade != nil {
+		// Built before the scheme switch so the builders can wire
+		// admission hooks and registration pacers against it.
+		if err := s.validateDegrade(); err != nil {
+			return nil, err
+		}
+		ds, err := newDegradeState(cfg.Degrade)
+		if err != nil {
+			return nil, err
+		}
+		s.degradeState = ds
+	}
 
 	switch cfg.Scheme {
 	case SchemeMobileIP:
@@ -219,6 +235,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	s.installObsProbes()
 	if err := s.installControl(); err != nil {
+		return nil, err
+	}
+	if err := s.installDegrade(); err != nil {
 		return nil, err
 	}
 
@@ -370,6 +389,10 @@ func (s *scenario) startTraffic(i int, dst addr.IP, rng *simtime.Rand) {
 			traffic.DefaultVideoConfig(), rng.Fork(), sink)
 		g.Alloc = alloc
 		gens = append(gens, g)
+		if ds := s.degradeState; ds != nil && ds.ladder != nil {
+			// The ladder rate-adapts every streaming generator in step.
+			ds.videos = append(ds.videos, g)
+		}
 	}
 	if tc.DataMeanInterval > 0 {
 		g := traffic.NewPoisson(traffic.Flow{ID: base + 2, Src: s.cn.Addr(), Dst: dst, Class: packet.ClassInteractive},
@@ -542,10 +565,11 @@ func (s *scenario) runMobileIP() error {
 			}
 			fa.Node().SetDown(false)
 			// The re-registration storm: every MN parked on the failed FA
-			// re-attaches and re-registers at the recovery instant.
+			// re-attaches and re-registers at the recovery instant — paced
+			// through the breaker when one is armed, a burst otherwise.
 			for _, mn := range mns {
 				if mn.CurrentAgent() == fa {
-					mn.Reregister()
+					s.paceRegistration(mn.Reregister)
 				}
 			}
 		}
@@ -799,6 +823,7 @@ func (s *scenario) runMultiTier() error {
 			Home:      home,
 			HomeAgent: addr.MustParse(haIP),
 			DemandBPS: s.trafficFor(i).DemandBPS(),
+			Class:     classFor(s.trafficFor(i)),
 		}
 		dir.AddProfile(prof)
 		node := s.net.NewNode(fmt.Sprintf("mn-%d", i))
@@ -851,6 +876,9 @@ func (s *scenario) runMultiTier() error {
 
 	if ch := s.controlHooks; ch != nil {
 		s.wireMultiTierControl(ch, fab, mobs)
+	}
+	if ds := s.degradeState; ds != nil {
+		s.wireMultiTierDegrade(ds, fab)
 	}
 	return nil
 }

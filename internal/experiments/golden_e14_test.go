@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+)
+
+// The golden E14 file pins the byte-exact degradation matrix at a fixed
+// seed: the ladder's occupancy thresholds and hysteresis, the per-class
+// defer/preempt decisions, the video rung switches, and the GCRA pacing
+// of the recovery storm are all decided from sim-time state on the
+// sampling cadence or the event clock, so the whole graceful-degradation
+// path is pinned down to the byte. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenE14 -update-golden
+const goldenE14Path = "testdata/golden_e14.txt"
+
+// goldenE14Matrix is the pinned miniature matrix: one crowd big enough
+// to push the hot root's subtree past both ladder thresholds, under
+// both default profiles.
+func goldenE14Matrix() DegradationMatrix {
+	m := DefaultDegradationMatrix()
+	m.Populations = []int{500}
+	return m
+}
+
+// goldenE14Options scale each run to 4 virtual seconds, like E11 and
+// E13: the storm recovery needs room after the outage window closes.
+func goldenE14Options() Options {
+	return Options{Seed: 7, TimeScale: 0.4, Reps: 1, Parallel: 1}
+}
+
+func TestGoldenE14ByteIdentical(t *testing.T) {
+	tbl, err := E14Degradation(goldenE14Options(), goldenE14Matrix())
+	if err != nil {
+		t.Fatalf("E14Degradation: %v", err)
+	}
+	got := tbl.String() + "\n"
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenE14Path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenE14Path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenE14Path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenE14Path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("E14 output diverged from golden.\nFirst diff at byte %d.\ngot:\n%s\nwant:\n%s",
+			firstDiff(got, string(want)), got, want)
+	}
+}
+
+// TestGoldenE14ParallelMatches proves degradation runs are safe under
+// the job-level worker pool.
+func TestGoldenE14ParallelMatches(t *testing.T) {
+	opt := goldenE14Options()
+	seq, err := E14Degradation(opt, goldenE14Matrix())
+	if err != nil {
+		t.Fatalf("sequential E14: %v", err)
+	}
+	opt.Parallel = 8
+	par, err := E14Degradation(opt, goldenE14Matrix())
+	if err != nil {
+		t.Fatalf("parallel E14: %v", err)
+	}
+	if s, p := seq.String(), par.String(); s != p {
+		t.Fatalf("parallel E14 diverged from sequential at byte %d", firstDiff(s, p))
+	}
+}
+
+// TestGoldenE14ParallelMeasurementMatches is the tentpole's determinism
+// claim: every degradation decision derives from sim-time occupancy
+// samples, event-clock GCRA arithmetic, or deterministic session
+// ordering, so the graceful path under the per-scenario parallel
+// measurement phase renders the exact golden bytes.
+func TestGoldenE14ParallelMeasurementMatches(t *testing.T) {
+	want, err := os.ReadFile(goldenE14Path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	opt := goldenE14Options()
+	opt.MeasureWorkers = 4
+	tbl, err := E14Degradation(opt, goldenE14Matrix())
+	if err != nil {
+		t.Fatalf("E14Degradation: %v", err)
+	}
+	if got := tbl.String() + "\n"; got != string(want) {
+		t.Fatalf("parallel-measurement E14 diverged from golden at byte %d", firstDiff(got, string(want)))
+	}
+}
+
+// TestE14GracefulBeatsCliff pins the ISSUE's acceptance criterion on a
+// single storm cell: against the cliff twin of the same run, the
+// graceful mode must actually degrade (defer, preempt, step video down,
+// pace the recovery storm), keep conversational and handoff admission
+// success at or above 90% while the cliff falls below it, hold voice
+// survival, and shed strictly less raw capacity — the cliff refuses
+// whatever arrived last, the ladder refuses what it chose to spend.
+func TestE14GracefulBeatsCliff(t *testing.T) {
+	opt := goldenE14Options()
+	m := goldenE14Matrix()
+	storm := degradationProfiles()[1]
+	if storm.Name != "storm" {
+		t.Fatalf("expected storm profile second, got %q", storm.Name)
+	}
+	dim, err := capacity.New(500, m.Spec, m.Planner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(graceful bool) *core.Result {
+		cfg := e14Config(opt, m, dim, 500, storm, graceful)
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("core.Run(graceful=%v): %v", graceful, err)
+		}
+		return res
+	}
+	cliff, graceful := run(false), run(true)
+
+	// The cliff must carry zero degradation residue: no policy, no events.
+	for _, name := range []string{
+		"ctl.degrade.deferred", "ctl.degrade.preempted",
+		"ctl.degrade.video_stepdowns", "ctl.degrade.breaker.paced",
+	} {
+		if v := cliff.Registry.Counter(name).Value(); v != 0 {
+			t.Errorf("cliff run has %s = %d; want 0", name, v)
+		}
+	}
+	// The graceful run must exercise every lever.
+	for _, name := range []string{
+		"ctl.degrade.deferred", "ctl.degrade.preempted",
+		"ctl.degrade.video_stepdowns", "ctl.degrade.breaker.paced",
+		"ctl.degrade.breaker.opens",
+	} {
+		if v := graceful.Registry.Counter(name).Value(); v == 0 {
+			t.Errorf("graceful run never fired %s", name)
+		}
+	}
+
+	voiceAdm := admissionSuccess(
+		"tier.admission.class.conversational.admitted",
+		"tier.admission.class.conversational.refused")
+	hoAdm := admissionSuccess(
+		"tier.admission.handoff.admitted",
+		"tier.admission.handoff.refused")
+	if g, c := voiceAdm(graceful), voiceAdm(cliff); g < 0.90 || g <= c {
+		t.Errorf("voice admission success: graceful %.4f, cliff %.4f; want graceful >= 0.90 and above cliff", g, c)
+	}
+	if g, c := hoAdm(graceful), hoAdm(cliff); g < 0.90 || g <= c {
+		t.Errorf("handoff admission success: graceful %.4f, cliff %.4f; want graceful >= 0.90 and above cliff", g, c)
+	}
+	voiceSurv := classSurvival("crowd-voice")
+	if g, c := voiceSurv(graceful), voiceSurv(cliff); g < 0.90 || g < c-1e-9 {
+		t.Errorf("voice survival: graceful %.4f, cliff %.4f; want graceful >= 0.90 and no worse than cliff", g, c)
+	}
+	cliffShed := cliff.Registry.Counter("tier.admission.shed_capacity").Value()
+	gracefulShed := graceful.Registry.Counter("tier.admission.shed_capacity").Value()
+	if gracefulShed >= cliffShed {
+		t.Errorf("graceful shed %d capacity refusals, cliff %d; want strictly fewer", gracefulShed, cliffShed)
+	}
+	t.Logf("voice-adm: cliff %.4f graceful %.4f; ho-adm: cliff %.4f graceful %.4f; shed: cliff %d graceful %d",
+		voiceAdm(cliff), voiceAdm(graceful), hoAdm(cliff), hoAdm(graceful), cliffShed, gracefulShed)
+	t.Logf("graceful levers: deferred %d preempted %d stepdowns %d paced %d opens %d",
+		graceful.Registry.Counter("ctl.degrade.deferred").Value(),
+		graceful.Registry.Counter("ctl.degrade.preempted").Value(),
+		graceful.Registry.Counter("ctl.degrade.video_stepdowns").Value(),
+		graceful.Registry.Counter("ctl.degrade.breaker.paced").Value(),
+		graceful.Registry.Counter("ctl.degrade.breaker.opens").Value())
+}
+
+// TestE14RejectsBadMatrix exercises axis, profile and cadence
+// validation before any scenario runs.
+func TestE14RejectsBadMatrix(t *testing.T) {
+	base := goldenE14Matrix()
+	cases := map[string]func(*DegradationMatrix){
+		"empty":        func(m *DegradationMatrix) { m.Populations = nil },
+		"non-positive": func(m *DegradationMatrix) { m.Populations = []int{0, 40} },
+		"unsorted":     func(m *DegradationMatrix) { m.Populations = []int{80, 40} },
+		"no-duration":  func(m *DegradationMatrix) { m.Duration = 0 },
+		"no-spec":      func(m *DegradationMatrix) { m.Spec = fleet.Spec{} },
+		"neg-sample":   func(m *DegradationMatrix) { m.SampleInterval = -time.Second },
+		"nil-plan":     func(m *DegradationMatrix) { m.Profiles = []faults.NamedPlan{{Name: "x"}} },
+		"unnamed":      func(m *DegradationMatrix) { m.Profiles = []faults.NamedPlan{{Plan: &faults.Plan{}}} },
+		"bad-planner":  func(m *DegradationMatrix) { m.Planner.MNsPerMicro = -1 },
+	}
+	for name, mutate := range cases {
+		m := base
+		mutate(&m)
+		if _, err := E14Degradation(goldenE14Options(), m); err == nil {
+			t.Errorf("%s matrix accepted", name)
+		}
+	}
+}

@@ -306,6 +306,17 @@ func Profiles() []NamedPlan {
 		{Name: "radio-fade", Plan: &Plan{
 			Fades: []FadeSpec{{Tier: topology.TierMicro, Count: 4, ExtraLoss: 0.35, Start: 0.25, Duration: 0.40}},
 		}},
+		{Name: "storm", Plan: &Plan{
+			// The combined stressor the degradation experiments lean on: a
+			// wide root outage whose recovery triggers a mass
+			// re-registration storm, on top of a regional radio fade that
+			// keeps the air interface lossy while the storm drains. Count
+			// over-asks on purpose — Expand clamps to the cells available,
+			// so the same profile scales from one-root grids to dimensioned
+			// arenas.
+			Outages: []OutageSpec{{Tier: topology.TierRoot, Count: 64, Start: 0.35, Duration: 0.20}},
+			Fades:   []FadeSpec{{Tier: topology.TierMicro, Count: 4, ExtraLoss: 0.35, Start: 0.40, Duration: 0.20}},
+		}},
 	}
 }
 

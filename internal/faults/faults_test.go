@@ -155,3 +155,30 @@ func TestProfiles(t *testing.T) {
 		t.Errorf("unknown profile: want ErrBadPlan, got %v", err)
 	}
 }
+
+// The storm profile must combine an outage (whose recovery triggers the
+// re-registration storm) with a radio fade, and survive the round trip
+// through ProfileByName — it is the stressor the degradation matrix
+// selects by name.
+func TestStormProfileCombines(t *testing.T) {
+	np, err := ProfileByName("storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(np.Plan.Outages) == 0 || len(np.Plan.Fades) == 0 {
+		t.Fatalf("storm must combine outages and fades: %+v", np.Plan)
+	}
+	sched, err := np.Plan.Expand(testTopology(t), 12, simtime.NewRand(7), 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[Kind]bool)
+	for _, ev := range sched {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []Kind{StationDown, StationUp, FadeStart, FadeEnd} {
+		if !kinds[k] {
+			t.Errorf("storm schedule missing kind %d events", k)
+		}
+	}
+}

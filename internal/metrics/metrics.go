@@ -45,6 +45,7 @@ const (
 	DropAuth                            // failed RSMC authentication
 	DropBSDown                          // base station failure injection
 	DropFault                           // flushed at a station forced down by fault injection
+	DropPreempted                       // flushed when the degradation ladder preempted the session
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +71,8 @@ func (r DropReason) String() string {
 		return "bs-down"
 	case DropFault:
 		return "fault"
+	case DropPreempted:
+		return "preempted"
 	default:
 		return fmt.Sprintf("drop(%d)", uint8(r))
 	}

@@ -237,8 +237,8 @@ func TestDropReasonStrings(t *testing.T) {
 		seen[s] = r
 		defined++
 	}
-	// The walk must cover every declared reason (DropFault is the last).
-	if want := int(DropFault-DropQueueFull) + 1; defined != want {
+	// The walk must cover every declared reason (DropPreempted is the last).
+	if want := int(DropPreempted-DropQueueFull) + 1; defined != want {
 		t.Fatalf("String covers %d contiguous reasons, want %d — a reason is missing its case", defined, want)
 	}
 	// Undefined values must render distinctly, not collide with names.

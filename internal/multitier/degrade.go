@@ -1,0 +1,45 @@
+package multitier
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// DegradeHooks let the scenario's degradation ladder steer station
+// admission without the station knowing the ladder: pure decision
+// functions plus observation callbacks, all consulted only when the
+// hooks are installed. A station with nil hooks behaves exactly as
+// before — the nil path adds no branches beyond one pointer test.
+//
+// One hooks object is shared by every station of a run, so the ladder
+// state it closes over is the run-wide degradation level.
+type DegradeHooks struct {
+	// DeferNew reports whether a fresh (non-handoff) admission of the
+	// class should be refused at the current degradation level. A
+	// deferral counts as a policy shed, not a capacity shed.
+	DeferNew func(class packet.Class, handoff bool) bool
+	// CanPreempt reports whether an arriving admission of class may
+	// evict a held session of class victim when capacity is exhausted.
+	CanPreempt func(class packet.Class, handoff bool, victim packet.Class) bool
+	// Rank orders classes for victim selection: the station preempts
+	// the preemptable session with the lowest rank (ties to the lowest
+	// MN address, so selection is deterministic).
+	Rank func(class packet.Class) int
+	// OnDefer observes a deferred admission.
+	OnDefer func(cell topology.CellID, class packet.Class)
+	// OnPreempt observes an eviction: the victim's class and how many
+	// of its buffered packets were flushed as preemption drops.
+	OnPreempt func(cell topology.CellID, victim packet.Class, flushed int)
+}
+
+// RegPacer paces a root anchor's Mobile IP registrations toward the
+// Home Agents — the registration-storm circuit breaker. Admit answers
+// "send now" (zero) or "send after this delay"; a deferred send reports
+// back through Sent when it actually transmits. Implemented by
+// degrade.Breaker via the core wiring.
+type RegPacer interface {
+	Admit(now time.Duration) time.Duration
+	Sent(now time.Duration)
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/auth"
+	"repro/internal/packet"
 	"repro/internal/topology"
 )
 
@@ -25,6 +26,11 @@ type Profile struct {
 	HomeAgent addr.IP
 	// DemandBPS is the bandwidth the MN's flows need (admission factor).
 	DemandBPS float64
+	// Class is the MN's dominant traffic class (the most delay-sensitive
+	// flow of its mix). Admission records it on granted sessions so the
+	// degradation ladder can rank preemption victims; zero means
+	// unclassified and opts the MN out of class-aware degradation.
+	Class packet.Class
 }
 
 // Directory is the shared registry the stations, RSMCs and root anchors

@@ -63,6 +63,14 @@ type Station struct {
 
 	controller Controller
 
+	// degrade, when set, lets the run-wide degradation ladder veto fresh
+	// admissions and nominate preemption victims. regPacer, when set,
+	// paces this root's Mobile IP registrations toward the Home Agents
+	// (the registration-storm circuit breaker). Both nil by default: the
+	// un-armed station is byte-identical to the pre-degradation one.
+	degrade  *DegradeHooks
+	regPacer RegPacer
+
 	anchorAddr addr.IP
 	external   *netsim.StaticRouter
 	regState   map[addr.IP]*anchorReg
@@ -132,6 +140,14 @@ func (s *Station) Config() StationConfig { return s.cfg }
 
 // SetController installs the domain RSMC hook.
 func (s *Station) SetController(c Controller) { s.controller = c }
+
+// SetDegrade installs the degradation-ladder hooks (shared across every
+// station of a run). Nil disarms class-aware degradation.
+func (s *Station) SetDegrade(h *DegradeHooks) { s.degrade = h }
+
+// SetRegPacer installs the registration-storm breaker on a root anchor.
+// Nil disarms pacing.
+func (s *Station) SetRegPacer(p RegPacer) { s.regPacer = p }
 
 // Controller returns the installed RSMC hook, if any.
 func (s *Station) Controller() Controller { return s.controller }
@@ -634,16 +650,46 @@ func (s *Station) handleHandoffRequest(m *HandoffRequest, airFrom *netsim.Node) 
 			// partition *resource decisions* — don't move.
 			reply.Accepted = true
 		} else {
-			sess, err := s.resources.Admit(qos.Request{BPS: m.BPS, Handoff: m.From != topology.NoCell})
-			if err == nil {
-				s.sessions[m.MN] = sess
-				reply.Accepted = true
+			var class packet.Class
+			if prof, err := s.dir.Profile(m.MN); err == nil {
+				class = prof.Class
+			}
+			handoff := m.From != topology.NoCell
+			if s.degrade != nil && s.degrade.DeferNew != nil && s.degrade.DeferNew(class, handoff) {
+				// Degradation ladder: the new arrival is shed by policy
+				// before it touches the resource pools.
 				if s.stats != nil {
-					s.stats.Admitted.Inc()
+					s.stats.ShedPolicy.Inc()
 				}
-				s.observeOccupancy()
-			} else if s.stats != nil {
-				s.stats.ShedCapacity.Inc()
+				s.countRefusal(class, handoff)
+				if s.degrade.OnDefer != nil {
+					s.degrade.OnDefer(s.cell.ID, class)
+				}
+			} else {
+				req := qos.Request{BPS: m.BPS, Handoff: handoff, Class: class}
+				sess, err := s.resources.Admit(req)
+				if err != nil && s.degrade != nil && s.preemptFor(class, handoff) {
+					sess, err = s.resources.Admit(req)
+				}
+				if err == nil {
+					s.sessions[m.MN] = sess
+					reply.Accepted = true
+					if s.stats != nil {
+						s.stats.Admitted.Inc()
+						if class != 0 {
+							s.stats.ClassAdmitted(class).Inc()
+						}
+						if handoff {
+							s.stats.HandoffAdmitted.Inc()
+						}
+					}
+					s.observeOccupancy()
+				} else {
+					if s.stats != nil {
+						s.stats.ShedCapacity.Inc()
+					}
+					s.countRefusal(class, handoff)
+				}
 			}
 		}
 	}
@@ -655,6 +701,70 @@ func (s *Station) handleHandoffRequest(m *HandoffRequest, airFrom *netsim.Node) 
 		s.stats.ControlBytes.Add(uint64(out.Size()))
 	}
 	_ = s.node.Network().DeliverDirect(s.node, airFrom, out, s.cfg.AirDelay, s.cfg.AirLoss)
+}
+
+// countRefusal folds one refused fresh admission into the per-class and
+// handoff success-rate partitions.
+func (s *Station) countRefusal(class packet.Class, handoff bool) {
+	if s.stats == nil {
+		return
+	}
+	if class != 0 {
+		s.stats.ClassRefused(class).Inc()
+	}
+	if handoff {
+		s.stats.HandoffRefused.Inc()
+	}
+}
+
+// preemptFor tries to evict one lower-priority session so an arriving
+// admission of class can retry. Victim selection is deterministic: among
+// preemptable sessions the lowest (rank, MN address) wins eviction. Any
+// packets the victim still had parked in a switch buffer are flushed as
+// reason-coded preemption drops — degradation converts would-be
+// conversational refusals into background losses, it never hides them.
+func (s *Station) preemptFor(class packet.Class, handoff bool) bool {
+	d := s.degrade
+	if d == nil || d.CanPreempt == nil || d.Rank == nil || len(s.sessions) == 0 {
+		return false
+	}
+	mns := make([]addr.IP, 0, len(s.sessions))
+	for mn := range s.sessions {
+		mns = append(mns, mn)
+	}
+	sort.Slice(mns, func(i, j int) bool { return mns[i] < mns[j] })
+	var victim addr.IP
+	var vclass packet.Class
+	found := false
+	for _, mn := range mns {
+		c := s.sessions[mn].Class()
+		if !d.CanPreempt(class, handoff, c) {
+			continue
+		}
+		if !found || d.Rank(c) < d.Rank(vclass) {
+			victim, vclass, found = mn, c, true
+		}
+	}
+	if !found {
+		return false
+	}
+	s.ReleaseSession(victim)
+	flushed := 0
+	if fr, ok := s.forwards[victim]; ok {
+		fr.drainEvt.Cancel()
+		flushed = fr.buf.Drain(func(p *packet.Packet) { s.dropPreempted(p) })
+		delete(s.forwards, victim)
+	}
+	if d.OnPreempt != nil {
+		d.OnPreempt(s.cell.ID, vclass, flushed)
+	}
+	return true
+}
+
+// dropPreempted disposes of one buffered packet flushed by a preemption:
+// the network observer accounts the reason-coded drop and releases it.
+func (s *Station) dropPreempted(p *packet.Packet) {
+	s.node.Network().Drop(s.node, p, metrics.DropPreempted)
 }
 
 // propagateUp relays a control packet toward the root.
@@ -893,25 +1003,46 @@ func (s *Station) maybeRegisterAnchor(mn addr.IP) {
 	// as a stale retransmission of the old root's.
 	s.regSeq++
 	id := uint64(s.sched.Now())<<8 | (s.regSeq & 0xFF)
+	// sentAt is the admission instant even when the breaker delays the
+	// transmit: pacing latency then counts into AnchorRegLatency, and the
+	// one-second dedup window covers the queued request too.
 	s.regState[mn] = &anchorReg{id: id, sentAt: s.sched.Now()}
-	req := &mobileip.RegistrationRequest{
-		Home:     mn,
-		HomeAg:   prof.HomeAgent,
-		CareOf:   s.anchorAddr,
-		Lifetime: s.regLife,
-		ID:       id,
+	ha := prof.HomeAgent
+	sendNow := func() {
+		req := &mobileip.RegistrationRequest{
+			Home:     mn,
+			HomeAg:   ha,
+			CareOf:   s.anchorAddr,
+			Lifetime: s.regLife,
+			ID:       id,
+		}
+		if s.anchorAuth != nil {
+			// The nonce is stamped at actual transmit time so a paced send
+			// still lands inside the Home Agent's replay window.
+			req.HasAuth = true
+			req.Nonce = uint64(s.sched.Now())
+			copy(req.Token[:], s.anchorAuth.Token(mn, req.Nonce))
+		}
+		out := packet.NewControl(s.node.Addr(), ha, packet.ProtoMobileIP, req.Marshal())
+		if s.stats != nil {
+			s.stats.AnchorRegistrations.Inc()
+			s.stats.ControlBytes.Add(uint64(out.Size()))
+		}
+		s.external.Forward(out)
 	}
-	if s.anchorAuth != nil {
-		req.HasAuth = true
-		req.Nonce = uint64(s.sched.Now())
-		copy(req.Token[:], s.anchorAuth.Token(mn, req.Nonce))
+	if s.regPacer != nil {
+		if delay := s.regPacer.Admit(s.sched.Now()); delay > 0 {
+			s.sched.AfterFIFO(delay, func() {
+				s.regPacer.Sent(s.sched.Now())
+				if s.node.Down() {
+					return // the anchor failed while the send was queued
+				}
+				sendNow()
+			})
+			return
+		}
 	}
-	out := packet.NewControl(s.node.Addr(), prof.HomeAgent, packet.ProtoMobileIP, req.Marshal())
-	if s.stats != nil {
-		s.stats.AnchorRegistrations.Inc()
-		s.stats.ControlBytes.Add(uint64(out.Size()))
-	}
-	s.external.Forward(out)
+	sendNow()
 }
 
 // handleAnchorReply completes an anchor registration round trip.

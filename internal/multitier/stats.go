@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/metrics"
+	"repro/internal/packet"
 	"repro/internal/topology"
 )
 
@@ -84,11 +85,22 @@ type Stats struct {
 	// Purely observational: no protocol behaviour reads it.
 	PageSink func(mn addr.IP)
 
+	// HandoffAdmitted / HandoffRefused partition the resource decisions
+	// of handoff arrivals only (a slice of Admitted/ShedCapacity+policy):
+	// the handoff admission success rate the degradation experiments
+	// compare is HandoffAdmitted / (HandoffAdmitted + HandoffRefused).
+	HandoffAdmitted *metrics.Counter
+	HandoffRefused  *metrics.Counter
+
 	// reg backs the lazily-created per-root occupancy samples: roots are
 	// a property of the topology, which does not exist yet when NewStats
 	// runs.
 	reg     *metrics.Registry
 	rootOcc map[topology.CellID]*metrics.Sample
+	// classAdm/classRef back the lazily-created per-class admission
+	// counters: only classes that actually request admission get names.
+	classAdm map[packet.Class]*metrics.Counter
+	classRef map[packet.Class]*metrics.Counter
 }
 
 // RootOccupancyPrefix names the per-root occupancy samples: the sample
@@ -110,6 +122,40 @@ func (s *Stats) RootOccupancy(root topology.CellID) *metrics.Sample {
 	smp := s.reg.Sample(RootOccupancyPrefix + strconv.Itoa(int(root)))
 	s.rootOcc[root] = smp
 	return smp
+}
+
+// ClassAdmissionPrefix names the per-class admission counters: class c's
+// outcomes are ClassAdmissionPrefix + c.String() + ".admitted"/".refused".
+const ClassAdmissionPrefix = "tier.admission.class."
+
+// ClassAdmitted returns (creating on first use) the admission-granted
+// counter for one traffic class — the per-class success telemetry the
+// degradation matrix reads (voice admission success under overload).
+func (s *Stats) ClassAdmitted(c packet.Class) *metrics.Counter {
+	if ctr, ok := s.classAdm[c]; ok {
+		return ctr
+	}
+	if s.classAdm == nil {
+		s.classAdm = make(map[packet.Class]*metrics.Counter, 4)
+	}
+	ctr := s.reg.Counter(ClassAdmissionPrefix + c.String() + ".admitted")
+	s.classAdm[c] = ctr
+	return ctr
+}
+
+// ClassRefused returns (creating on first use) the admission-refused
+// counter for one traffic class (deferred by degradation policy or shed
+// on capacity — both are refusals from the class's point of view).
+func (s *Stats) ClassRefused(c packet.Class) *metrics.Counter {
+	if ctr, ok := s.classRef[c]; ok {
+		return ctr
+	}
+	if s.classRef == nil {
+		s.classRef = make(map[packet.Class]*metrics.Counter, 4)
+	}
+	ctr := s.reg.Counter(ClassAdmissionPrefix + c.String() + ".refused")
+	s.classRef[c] = ctr
+	return ctr
 }
 
 // NewStats wires stats into a registry under the "tier." prefix. A nil
@@ -154,5 +200,7 @@ func NewStats(reg *metrics.Registry) *Stats {
 		FaultDrops:          reg.Counter("tier.fault.drops"),
 		FaultDeregs:         reg.Counter("tier.fault.deregistrations"),
 		TierOccupancy:       occ,
+		HandoffAdmitted:     reg.Counter("tier.admission.handoff.admitted"),
+		HandoffRefused:      reg.Counter("tier.admission.handoff.refused"),
 	}
 }

@@ -51,8 +51,15 @@ const (
 	KindPacketDropped
 	KindAlertRaise
 	KindAlertClear
+	KindDegradePreempt
+	KindDegradeVideoStepDown
+	KindDegradeVideoStepUp
+	KindDegradeDefer
+	KindBreakerOpen
+	KindBreakerHalfOpen
+	KindBreakerClose
 
-	kindCount = KindAlertClear
+	kindCount = KindBreakerClose
 )
 
 var kindNames = [...]string{
@@ -79,6 +86,18 @@ var kindNames = [...]string{
 	KindPacketDropped:    "pkt.dropped",
 	KindAlertRaise:       "alert.raise",
 	KindAlertClear:       "alert.clear",
+
+	// Degradation kinds (PR 10). The ladder kinds carry the ladder level
+	// in Aux; preempt/defer carry the refused/evicted class in Aux and
+	// the victim's flushed packet count in Val; breaker kinds carry the
+	// queued backlog in Val.
+	KindDegradePreempt:       "degrade.preempted",
+	KindDegradeVideoStepDown: "degrade.video_stepdown",
+	KindDegradeVideoStepUp:   "degrade.video_stepup",
+	KindDegradeDefer:         "degrade.deferred",
+	KindBreakerOpen:          "degrade.breaker_open",
+	KindBreakerHalfOpen:      "degrade.breaker_half_open",
+	KindBreakerClose:         "degrade.breaker_close",
 }
 
 // String returns the stable wire name of the kind (used by the JSONL

@@ -176,9 +176,10 @@ func (b *BandwidthPool) Release(bps float64) error {
 
 // Session is one admitted flow's reservation; release it exactly once.
 type Session struct {
-	cell *CellResources
-	bps  float64
-	done bool
+	cell  *CellResources
+	bps   float64
+	class packet.Class
+	done  bool
 }
 
 // Release returns the session's channel and bandwidth.
@@ -195,6 +196,11 @@ func (s *Session) Release() error {
 
 // BPS returns the session's reserved bandwidth.
 func (s *Session) BPS() float64 { return s.bps }
+
+// Class returns the traffic class recorded at admission (zero when the
+// request carried none). The degradation ladder's preemption policy
+// selects victims by it.
+func (s *Session) Class() packet.Class { return s.class }
 
 // CellResources bundles one base station's admission state.
 type CellResources struct {
@@ -217,6 +223,10 @@ type Request struct {
 	// Handoff marks an in-progress session arriving from another cell,
 	// which may use guard channels.
 	Handoff bool
+	// Class is the flow's dominant traffic class. Admission itself
+	// ignores it; the granted session records it so degradation policy
+	// can later rank preemption victims. Zero means unclassified.
+	Class packet.Class
 }
 
 // Admit grants or refuses a request atomically (no partial grants).
@@ -237,7 +247,7 @@ func (c *CellResources) Admit(req Request) (*Session, error) {
 		}
 		return nil, err
 	}
-	return &Session{cell: c, bps: req.BPS}, nil
+	return &Session{cell: c, bps: req.BPS, class: req.Class}, nil
 }
 
 // CanAdmit reports whether a request would succeed, without side effects.

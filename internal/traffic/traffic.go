@@ -108,6 +108,9 @@ type VBRVideo struct {
 	mtu       int
 	sink      Sink
 	rng       *simtime.Rand
+	// scale is the current rate-adaptation multiplier on the mean frame
+	// size; 1 at full rate. Set via SetLevel by the degradation ladder.
+	scale float64
 	// Alloc optionally draws packets from a scenario-owned allocator
 	// instead of the global pool; set before Start.
 	Alloc packet.Allocator
@@ -158,8 +161,27 @@ func NewVBRVideo(flow Flow, cfg VideoConfig, rng *simtime.Rand, sink Sink) *VBRV
 		mtu:       cfg.MTU,
 		sink:      sink,
 		rng:       rng,
+		scale:     1,
 	}
 }
+
+// SetLevel adapts the stream's bitrate: the mean frame size is scaled by
+// the given factor, clamped to (0, 1]. The frame cadence and the rng
+// draw per frame are untouched, so stepping the level up or down never
+// shifts the generator's random stream — only frame sizes change. At
+// scale 1 frame sizes are bit-exact with an unadapted stream.
+func (v *VBRVideo) SetLevel(scale float64) {
+	if scale > 1 {
+		scale = 1
+	}
+	if scale <= 0 {
+		return
+	}
+	v.scale = scale
+}
+
+// Level returns the current rate-adaptation scale (1 = full rate).
+func (v *VBRVideo) Level() float64 { return v.scale }
 
 // Start implements Generator.
 func (v *VBRVideo) Start(sched *simtime.Scheduler) {
@@ -176,7 +198,7 @@ func (v *VBRVideo) emitFrame() {
 	if v.sigma > 0 {
 		mu = -v.sigma * v.sigma / 2
 	}
-	size := int(v.meanBytes * v.rng.LogNormal(mu, v.sigma))
+	size := int(v.meanBytes * v.scale * v.rng.LogNormal(mu, v.sigma))
 	if size < 64 {
 		size = 64
 	}

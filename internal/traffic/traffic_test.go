@@ -155,6 +155,56 @@ func TestVBRVideoRespectsMTU(t *testing.T) {
 	g.Stop()
 }
 
+// TestVBRVideoSetLevel pins the rate-adaptation contract: stepping the
+// level scales frame bytes without shifting the rng stream, a scale of
+// exactly 1 is bit-identical to an unadapted stream, and out-of-range
+// scales clamp (above 1) or are ignored (non-positive).
+func TestVBRVideoSetLevel(t *testing.T) {
+	run := func(seed int64, scale float64) (bytes int, sizes []int) {
+		sched := simtime.NewScheduler()
+		g := NewVBRVideo(testFlow(), DefaultVideoConfig(), simtime.NewRand(seed), func(p *packet.Packet) {
+			bytes += len(p.Payload)
+			sizes = append(sizes, len(p.Payload))
+		})
+		g.SetLevel(scale)
+		g.Start(sched)
+		if err := sched.RunUntil(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		g.Stop()
+		return bytes, sizes
+	}
+	fullBytes, fullSizes := run(5, 1)
+	halfBytes, _ := run(5, 0.5)
+	if ratio := float64(halfBytes) / float64(fullBytes); math.Abs(ratio-0.5) > 0.05 {
+		t.Fatalf("half-rate stream carried %.2fx the full-rate bytes, want ~0.5", ratio)
+	}
+	// Exact identity at scale 1: the same seed renders the same packet
+	// sizes byte for byte (the Degrade == nil golden-identity guarantee).
+	againBytes, againSizes := run(5, 1)
+	if againBytes != fullBytes || len(againSizes) != len(fullSizes) {
+		t.Fatalf("scale-1 rerun diverged: %d bytes / %d pkts vs %d / %d",
+			againBytes, len(againSizes), fullBytes, len(fullSizes))
+	}
+	for i := range fullSizes {
+		if fullSizes[i] != againSizes[i] {
+			t.Fatalf("scale-1 rerun packet %d is %d bytes, want %d", i, againSizes[i], fullSizes[i])
+		}
+	}
+	// Clamping: above 1 behaves as full rate, non-positive is ignored.
+	g := NewVBRVideo(testFlow(), DefaultVideoConfig(), simtime.NewRand(1), func(*packet.Packet) {})
+	g.SetLevel(2)
+	if g.Level() != 1 {
+		t.Fatalf("SetLevel(2) left scale %v, want clamp to 1", g.Level())
+	}
+	g.SetLevel(0.6)
+	g.SetLevel(0)
+	g.SetLevel(-1)
+	if g.Level() != 0.6 {
+		t.Fatalf("non-positive SetLevel moved scale to %v, want 0.6 kept", g.Level())
+	}
+}
+
 func TestVBRVideoDefaultsOnZeroConfig(t *testing.T) {
 	sched := simtime.NewScheduler()
 	n := 0

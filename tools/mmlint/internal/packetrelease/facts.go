@@ -113,6 +113,7 @@ var sinks = map[analysis.FuncRef]sinkFact{
 	{Pkg: multitierPkg, Recv: "Station", Name: "bufferPacket"}:    {arg: 0, checked: true},
 	{Pkg: multitierPkg, Recv: "Station", Name: "dropStale"}:       {arg: 0, checked: true},
 	{Pkg: multitierPkg, Recv: "Station", Name: "dropFault"}:       {arg: 0, checked: true},
+	{Pkg: multitierPkg, Recv: "Station", Name: "dropPreempted"}:   {arg: 0, checked: true},
 	{Pkg: multitierPkg, Recv: "Station", Name: "pageFlood"}:       {arg: 0, checked: true},
 	{Pkg: multitierPkg, Recv: "Mobile", Name: "Receive"}:          {arg: 0, checked: true},
 	{Pkg: multitierPkg, Recv: "Mobile", Name: "SendData"}:         {arg: 0, checked: true},
